@@ -1,0 +1,32 @@
+# Convenience targets for the Jumanji reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples figures clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Paper-scale sweep (40 mixes, 25 epochs) — takes a while.
+bench-full:
+	REPRO_MIXES=40 REPRO_EPOCHS=25 \
+	  $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/security_audit.py
+	$(PYTHON) examples/multi_tenant_consolidation.py
+	$(PYTHON) examples/closed_loop_trace_sim.py
+
+figures:
+	$(PYTHON) examples/reproduce_paper.py
+
+clean:
+	rm -rf results/ .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,213 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation disables one piece of Jumanji (or a substrate mechanism)
+and measures the effect, quantifying *why* each design choice exists:
+
+1. panic boost on/off in the feedback controller;
+2. greedy closest-bank LatCritPlacer vs. distance-oblivious placement;
+3. bank-granular JumanjiLookahead vs. the unconstrained variant
+   (= "Jumanji: Insecure", the paper's own ablation);
+4. Jigsaw inner placement vs. naive striping within VM banks;
+5. convex-hull (DRRIP) miss curves vs. raw LRU curves.
+"""
+
+import pytest
+
+from repro.cache.misscurve import MissCurve
+from repro.config import ControllerConfig, RECONFIG_INTERVAL_CYCLES
+from repro.experiments.common import run_workload
+from repro.metrics.speedup import weighted_speedup
+from repro.model.system import run_design
+from repro.model.workload import make_default_workload
+
+from .conftest import report, run_once
+
+
+def test_ablation_panic_boost(benchmark):
+    """Without the panic boost, queueing spikes linger: worst-case tail
+    degrades even though the average controller behaviour is similar."""
+    workload = make_default_workload(["xapian"], mix_seed=1,
+                                     load="high")
+
+    def run_both():
+        with_panic = run_design(
+            "Jumanji", workload, num_epochs=20, seed=2,
+            controller_config=ControllerConfig(panic_threshold=1.10),
+        )
+        # Panic threshold so high it never fires.
+        without = run_design(
+            "Jumanji", workload, num_epochs=20, seed=2,
+            controller_config=ControllerConfig(panic_threshold=50.0),
+        )
+        return with_panic, without
+
+    with_panic, without = run_once(benchmark, run_both)
+    worst_with = with_panic.worst_lc_violation()
+    worst_without = without.worst_lc_violation()
+    report(
+        "ablation1_panic_boost",
+        f"Ablation 1 — panic boost: worst tail with={worst_with:.2f} "
+        f"without={worst_without:.2f}",
+    )
+    assert worst_with <= worst_without + 0.35
+    benchmark.extra_info["worst_with"] = worst_with
+    benchmark.extra_info["worst_without"] = worst_without
+
+
+def test_ablation_latcrit_proximity(benchmark):
+    """Placing LC allocations in the *closest* banks is the D-NUCA
+    advantage: the same capacity placed S-NUCA-style (Adaptive) needs
+    more space for the same tails."""
+
+    def run_both():
+        outcome_j, result_j, baseline = run_workload(
+            "Jumanji", "xapian", "high", 0, epochs=20
+        )
+        outcome_a, result_a, _ = run_workload(
+            "Adaptive", "xapian", "high", 0, epochs=20,
+            baseline_ipcs=baseline,
+        )
+        return outcome_j, outcome_a
+
+    outcome_j, outcome_a = run_once(benchmark, run_both)
+    report(
+        "ablation2_lc_proximity",
+        f"Ablation 2 — LC proximity: Jumanji reserves "
+        f"{outcome_j.avg_lc_size_mb:.2f} MB vs Adaptive "
+        f"{outcome_a.avg_lc_size_mb:.2f} MB per LC app",
+    )
+    assert outcome_j.avg_lc_size_mb < outcome_a.avg_lc_size_mb
+    assert outcome_j.worst_tail < 1.3
+    benchmark.extra_info["jumanji_mb"] = outcome_j.avg_lc_size_mb
+    benchmark.extra_info["adaptive_mb"] = outcome_a.avg_lc_size_mb
+
+
+def test_ablation_bank_granularity(benchmark):
+    """Bank-granular VM isolation costs a few percent of speedup vs the
+    unconstrained allocation ('Jumanji: Insecure') — the price of the
+    security guarantee (paper Fig. 16)."""
+
+    def run_both():
+        outcome_j, _r, baseline = run_workload(
+            "Jumanji", "xapian", "high", 0, epochs=15
+        )
+        outcome_i, _r2, _b = run_workload(
+            "Jumanji: Insecure", "xapian", "high", 0, epochs=15,
+            baseline_ipcs=baseline,
+        )
+        return outcome_j, outcome_i
+
+    outcome_j, outcome_i = run_once(benchmark, run_both)
+    gap = outcome_i.speedup - outcome_j.speedup
+    report(
+        "ablation3_bank_granularity",
+        f"Ablation 3 — bank granularity: isolation costs "
+        f"{gap * 100:.1f}% speedup; vulnerability "
+        f"{outcome_j.vulnerability:.2f} vs {outcome_i.vulnerability:.2f}",
+    )
+    assert gap < 0.05
+    assert outcome_j.vulnerability == 0.0
+    assert outcome_i.vulnerability > 0.0
+    benchmark.extra_info["isolation_cost"] = gap
+
+
+def test_ablation_inner_jigsaw_vs_striping(benchmark):
+    """Running Jigsaw inside each VM's banks beats striping each app
+    across them (lower average NoC distance to batch data)."""
+    from repro.core.designs import JumanjiDesign
+    from repro.core.jumanji import jumanji_placer
+    from repro.model.workload import make_default_workload
+
+    workload = make_default_workload(["xapian"], mix_seed=0,
+                                     load="high")
+    ctx = workload.build_context(
+        {a: 2.0 for a in workload.lc_apps}
+    )
+
+    def measure():
+        alloc = jumanji_placer(ctx)
+        jigsaw_rtt = {
+            a: alloc.avg_noc_rtt(a, ctx.tile_of(a), ctx.noc)
+            for a in ctx.batch_apps
+            if alloc.app_size(a) > 0
+        }
+        # Striping ablation: same per-app sizes, spread uniformly over
+        # the VM's banks.
+        from repro.core.allocation import Allocation
+
+        striped = Allocation(ctx.config)
+        vm_banks = {}
+        vm_map = ctx.vm_of_app_map()
+        for bank in range(ctx.config.num_banks):
+            for app in alloc.apps_in_bank(bank):
+                vm_banks.setdefault(vm_map[app], set()).add(bank)
+        for app in ctx.batch_apps:
+            size = alloc.app_size(app)
+            if size <= 0:
+                continue
+            banks = sorted(vm_banks[vm_map[app]])
+            for b in banks:
+                striped.add(
+                    b, app, min(size / len(banks),
+                                striped.bank_free(b))
+                )
+        striped_rtt = {
+            a: striped.avg_noc_rtt(a, ctx.tile_of(a), ctx.noc)
+            for a in jigsaw_rtt
+        }
+        return jigsaw_rtt, striped_rtt
+
+    jigsaw_rtt, striped_rtt = run_once(benchmark, measure)
+    mean_j = sum(jigsaw_rtt.values()) / len(jigsaw_rtt)
+    mean_s = sum(striped_rtt.values()) / len(striped_rtt)
+    report(
+        "ablation4_inner_placement",
+        f"Ablation 4 — inner placement: Jigsaw-in-VM avg RTT "
+        f"{mean_j:.1f} cycles vs striped {mean_s:.1f}",
+    )
+    assert mean_j < mean_s
+    benchmark.extra_info["jigsaw_rtt"] = mean_j
+    benchmark.extra_info["striped_rtt"] = mean_s
+
+
+def test_ablation_convex_hull_curves(benchmark):
+    """The paper approximates DRRIP's miss curve by the convex hull of
+    LRU's. The hull removes performance cliffs, so Lookahead over hulled
+    curves never over-allocates to the flat part of a cliff."""
+
+    def measure():
+        from repro.core.lookahead import lookahead
+
+        cliff = MissCurve([10.0, 10.0, 10.0, 9.9, 1.0, 1.0, 1.0])
+        drip = MissCurve([8.0, 6.5, 5.0, 3.5, 2.0, 1.5, 1.0])
+        raw = lookahead({"cliff": cliff, "drip": drip}, 4.0, 1.0)
+        hulled = lookahead(
+            {
+                "cliff": cliff.convex_hull(),
+                "drip": drip.convex_hull(),
+            },
+            4.0,
+            1.0,
+        )
+
+        def total_misses(sizes, curves):
+            return sum(
+                curves[k].misses_at(v) for k, v in sizes.items()
+            )
+
+        return (
+            total_misses(raw, {"cliff": cliff, "drip": drip}),
+            total_misses(hulled, {"cliff": cliff, "drip": drip}),
+        )
+
+    raw_misses, hull_misses = run_once(benchmark, measure)
+    report(
+        "ablation5_convex_hull",
+        f"Ablation 5 — convex hull: total misses raw={raw_misses:.1f} "
+        f"hulled={hull_misses:.1f}",
+    )
+    # The hull must not make allocation meaningfully worse on the true
+    # curves (and removes the cliff-induced plateaus Talus targets).
+    assert hull_misses <= raw_misses * 1.25
+    benchmark.extra_info["raw"] = raw_misses
+    benchmark.extra_info["hulled"] = hull_misses

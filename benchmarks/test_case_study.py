@@ -1,0 +1,26 @@
+"""Benchmarks for the case-study artifacts: Figs. 4 and 5."""
+
+from repro.experiments import fig4, fig5
+
+from .conftest import report, run_once
+
+
+def test_fig4_case_study_time_series(benchmark):
+    result = run_once(benchmark, fig4.run)
+    report("fig4", fig4.format_table(result))
+    # Shape: Jigsaw's mean latency over the last half of the run
+    # exceeds every other design's (its queues are unstable).
+    half = result.epochs // 2
+    jigsaw_late = sum(result.latency_series["Jigsaw"][half:])
+    jumanji_late = sum(result.latency_series["Jumanji"][half:])
+    assert jigsaw_late > jumanji_late
+    benchmark.extra_info["jigsaw_late_latency"] = jigsaw_late
+
+
+def test_fig5_case_study_end_to_end(benchmark):
+    result = run_once(benchmark, fig5.run)
+    report("fig5", fig5.format_table(result))
+    assert result.speedup["Jumanji"] > 1.05
+    assert result.worst_tail["Jumanji"] < result.worst_tail["Jigsaw"]
+    assert result.vulnerability["Jumanji"] == 0.0
+    benchmark.extra_info["jumanji_speedup"] = result.speedup["Jumanji"]

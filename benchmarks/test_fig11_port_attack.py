@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 11 — demonstration of an LLC port attack."""
+
+from repro.experiments import fig11
+
+from .conftest import report, run_once
+
+
+def test_fig11_port_attack(benchmark):
+    result = run_once(benchmark, fig11.run)
+    report("fig11", fig11.format_table(result))
+    # Paper shapes: one latency peak per bank dwell (12 on the Xeon);
+    # clearly higher attacker access time when the victim floods the
+    # attacker's bank (paper: >32-cycle averages) than otherwise.
+    assert result.num_peaks == result.config.num_banks
+    assert result.same_bank_avg > 32.0
+    assert result.same_bank_avg > 2 * result.other_bank_avg
+    assert result.other_bank_avg > result.quiet_avg
+    benchmark.extra_info["same_bank_avg"] = result.same_bank_avg
+    benchmark.extra_info["quiet_avg"] = result.quiet_avg

@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 12 — performance leakage in a partitioned LLC."""
+
+from repro.experiments import fig12
+
+from .conftest import report, run_once
+
+
+def test_fig12_performance_leakage(benchmark):
+    result = run_once(
+        benchmark, fig12.run, num_mixes=12, accesses=16_000
+    )
+    report("fig12", fig12.format_table(result))
+    # Paper shapes: the shared-bank tail varies across mixes despite a
+    # fixed partition (violations sometimes exceeding 10%); the
+    # bank-isolated tail is flat and lower.
+    assert result.shared_spread > 0.10
+    assert result.isolated_spread < 0.01
+    assert max(result.isolated_tails) < 1.0
+    benchmark.extra_info["shared_spread"] = result.shared_spread

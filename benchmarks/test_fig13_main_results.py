@@ -1,0 +1,87 @@
+"""Benchmark: Fig. 13 — the paper's main results sweep.
+
+Also feeds Figs. 14 and 15 and Table I, which the paper derives from the
+same runs ("averaged over all experiments").
+"""
+
+import pytest
+
+from repro.experiments import fig13, fig14, fig15, tables
+
+from .conftest import report, run_once
+
+
+@pytest.fixture(scope="module")
+def fig13_result():
+    return fig13.run()
+
+
+def test_fig13_main_results(benchmark, fig13_result):
+    result = run_once(benchmark, lambda: fig13_result)
+    report("fig13", fig13.format_table(result))
+    sweep = result.sweep
+    # Paper shapes at a glance:
+    # * Jumanji 11-15% gmean batch speedup; Jigsaw 11-18%;
+    #   Adaptive/VM-Part under ~4%.
+    ju = sweep.gmean_speedup("Jumanji")
+    ji = sweep.gmean_speedup("Jigsaw")
+    ad = sweep.gmean_speedup("Adaptive")
+    vp = sweep.gmean_speedup("VM-Part")
+    assert 1.05 < ju < 1.25
+    assert ji > ju - 0.02
+    assert ad < 1.05
+    assert vp < 1.05
+    # * Tail-aware designs meet deadlines (medians ~1 or below);
+    #   Jigsaw's worst violations are large.
+    for design in ("Adaptive", "VM-Part", "Jumanji"):
+        assert sweep.tail_box(design).median < 1.25
+    jigsaw_tails = sweep.tail_box("Jigsaw", "xapian", "high")
+    assert jigsaw_tails.maximum > 1.5
+    benchmark.extra_info["jumanji_gmean"] = ju
+    benchmark.extra_info["jigsaw_gmean"] = ji
+
+
+def test_fig14_vulnerability(benchmark, fig13_result):
+    result = run_once(
+        benchmark, fig14.from_sweep, fig13_result.sweep
+    )
+    report("fig14", fig14.format_table(result))
+    # Paper: Adaptive = VM-Part = 15; Jigsaw ~0.63; Jumanji 0.
+    assert result.vulnerability["Adaptive"] == pytest.approx(15.0)
+    assert result.vulnerability["VM-Part"] == pytest.approx(
+        15.0, abs=0.5
+    )
+    assert 0.1 < result.vulnerability["Jigsaw"] < 2.0
+    assert result.vulnerability["Jumanji"] == 0.0
+    benchmark.extra_info.update(result.vulnerability)
+
+
+def test_fig15_energy(benchmark, fig13_result):
+    result = run_once(
+        benchmark, fig15.from_sweep, fig13_result.sweep
+    )
+    report("fig15", fig15.format_table(result))
+    # Paper: Jumanji and Jigsaw cut data-movement energy ~13% vs
+    # Static; Adaptive ~flat; VM-Part slightly worse than Adaptive.
+    ju = result.normalized_total("Jumanji")
+    ji = result.normalized_total("Jigsaw")
+    ad = result.normalized_total("Adaptive")
+    vp = result.normalized_total("VM-Part")
+    assert ju < 0.97
+    assert ji < 0.97
+    assert abs(ad - 1.0) < 0.05
+    assert vp > ju
+    benchmark.extra_info["jumanji_energy"] = ju
+
+
+def test_table1_design_comparison(benchmark, fig13_result):
+    result = run_once(
+        benchmark, tables.run_table1, sweep=fig13_result.sweep
+    )
+    report("table1", tables.format_table1(result))
+    # Paper Table I: only Jumanji checks all three boxes.
+    assert result.verdicts["Jumanji"] == (True, True, True)
+    assert result.verdicts["Adaptive"][1] is False  # not secure
+    assert result.verdicts["Jigsaw"][0] is False  # violates deadlines
+    assert result.verdicts["Jigsaw"][1] is False
+    assert result.verdicts["Adaptive"][2] is False  # no speedup

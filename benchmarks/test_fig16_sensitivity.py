@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 16 — Jumanji vs Insecure vs Ideal Batch."""
+
+from repro.experiments import fig16
+
+from .conftest import report, run_once
+
+
+def test_fig16_jumanji_vs_ideal(benchmark):
+    result = run_once(
+        benchmark, fig16.run, lc_workloads=("xapian", "masstree")
+    )
+    report("fig16", fig16.format_table(result))
+    # Paper: Jumanji within ~3% of Insecure and ~2% of Ideal Batch.
+    assert result.gap_to("Jumanji: Insecure") < 0.05
+    assert result.gap_to("Jumanji: Ideal Batch") < 0.05
+    benchmark.extra_info["gap_to_ideal"] = result.gap_to(
+        "Jumanji: Ideal Batch"
+    )

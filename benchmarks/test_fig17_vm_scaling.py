@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 17 — Jumanji's speedup vs. number of VMs."""
+
+from repro.experiments import fig17
+
+from .conftest import report, run_once
+
+
+def test_fig17_vm_scaling(benchmark):
+    result = run_once(benchmark, fig17.run)
+    report("fig17", fig17.format_table(result))
+    # Paper: ~16% at 1 VM to ~13% at 12 VMs — graceful degradation,
+    # speedup positive everywhere, deadlines still met.
+    assert all(s > 1.03 for s in result.speedups.values())
+    assert result.degradation() < 0.08
+    assert all(t < 1.3 for t in result.worst_tails.values())
+    benchmark.extra_info["speedups"] = {
+        str(k): v for k, v in result.speedups.items()
+    }

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 18 — NoC router-delay sensitivity."""
+
+from repro.experiments import fig18
+
+from .conftest import report, run_once
+
+
+def test_fig18_noc_sensitivity(benchmark):
+    result = run_once(benchmark, fig18.run)
+    report("fig18", fig18.format_table(result))
+    # Paper: speedup grows from ~9% to ~15% as routers go 1 -> 3 cycles.
+    assert result.is_monotonic()
+    assert result.speedups[3] - result.speedups[1] > 0.01
+    benchmark.extra_info["speedups"] = {
+        str(k): v for k, v in result.speedups.items()
+    }

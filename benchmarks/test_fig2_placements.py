@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 2 — representative data placements per design."""
+
+from repro.experiments import fig2
+
+from .conftest import report, run_once
+
+
+def test_fig2_data_placements(benchmark):
+    result = run_once(benchmark, fig2.run)
+    report("fig2", fig2.format_table(result))
+    # Paper shapes: S-NUCA designs put every VM in every bank; Jigsaw
+    # clusters but still mixes VMs at boundaries; Jumanji never shares.
+    assert result.banks_shared_across_vms("Adaptive") == 20
+    assert result.banks_shared_across_vms("VM-Part") == 20
+    assert 0 < result.banks_shared_across_vms("Jigsaw") < 20
+    assert result.banks_shared_across_vms("Jumanji") == 0
+    benchmark.extra_info["jigsaw_shared"] = (
+        result.banks_shared_across_vms("Jigsaw")
+    )

@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 8 — xapian tail latency vs. allocation, +- D-NUCA."""
+
+from repro.experiments import fig8
+
+from .conftest import report, run_once
+
+
+def test_fig8_tail_vs_allocation(benchmark):
+    result = run_once(benchmark, fig8.run, epochs=20)
+    report("fig8", fig8.format_table(result))
+    # Paper shapes: tails explode at small allocations (up to ~50x);
+    # D-NUCA meets the deadline with less space; D-NUCA's worst case is
+    # far below S-NUCA's (roughly 18x in the paper).
+    assert max(result.snuca_tails) > 10 * result.deadline_cycles
+    s_min = result.min_size_meeting_deadline(dnuca=False)
+    d_min = result.min_size_meeting_deadline(dnuca=True)
+    assert d_min < s_min
+    assert result.worst_case_ratio() > 3.0
+    benchmark.extra_info["snuca_min_mb"] = s_min
+    benchmark.extra_info["dnuca_min_mb"] = d_min
+    benchmark.extra_info["worst_case_ratio"] = result.worst_case_ratio()

@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 9 — feedback-controller parameter sensitivity."""
+
+from repro.experiments import fig9
+
+from .conftest import report, run_once
+
+
+def test_fig9_controller_sensitivity(benchmark):
+    result = run_once(benchmark, fig9.run)
+    report("fig9", fig9.format_table(result))
+    # Paper shape: results change very little across parameter values.
+    assert result.speedup_spread() < 0.05
+    tails = [t for _s, t in result.cells.values()]
+    assert max(tails) < 1.5
+    benchmark.extra_info["speedup_spread"] = result.speedup_spread()

@@ -1,0 +1,62 @@
+"""Benchmark: reconfiguration-interval sensitivity (paper Sec. IV-B).
+
+"Jumanji's placement algorithm runs once every 100 ms ... More frequent
+reconfigurations do not improve results." This benchmark sweeps the
+reconfiguration interval and confirms the plateau.
+"""
+
+from repro.config import RECONFIG_INTERVAL_CYCLES
+from repro.core.designs import make_design
+from repro.metrics.speedup import weighted_speedup
+from repro.model.system import SystemModel
+from repro.model.workload import make_default_workload
+
+from .conftest import report, run_once
+
+
+def test_reconfiguration_interval_plateau(benchmark):
+    def measure():
+        workload = make_default_workload(
+            ["xapian"], mix_seed=0, load="high"
+        )
+        static = SystemModel(
+            make_design("Static"), workload, seed=1
+        ).run(15)
+        base = static.batch_ipcs()
+        out = {}
+        total = 15 * RECONFIG_INTERVAL_CYCLES
+        for label, divisor in (("50ms", 2), ("100ms", 1),
+                               ("200ms", 0.5)):
+            cycles = int(RECONFIG_INTERVAL_CYCLES / divisor)
+            epochs = max(int(total / cycles), 4)
+            model = SystemModel(
+                make_design("Jumanji"), workload, seed=1,
+                epoch_cycles=cycles,
+            )
+            result = model.run(epochs)
+            out[label] = (
+                weighted_speedup(result.batch_ipcs(), base),
+                max(
+                    result.lc_tail_normalized(a)
+                    for a in result.lc_deadlines
+                ),
+            )
+        return out
+
+    out = run_once(benchmark, measure)
+    lines = ["Reconfiguration-interval sensitivity (Jumanji)"]
+    for label, (speedup, tail) in out.items():
+        lines.append(
+            f"  {label:>6s}: speedup={speedup:.3f} worst tail={tail:.2f}"
+        )
+    speeds = [s for s, _t in out.values()]
+    lines.append(
+        f"speedup spread: {max(speeds) - min(speeds):.3f} "
+        "(paper: more frequent reconfigurations do not improve results)"
+    )
+    report("reconfig_interval", "\n".join(lines))
+    assert max(speeds) - min(speeds) < 0.015
+    for _label, (speedup, tail) in out.items():
+        assert speedup > 1.05
+        assert tail < 1.5
+    benchmark.extra_info["spread"] = max(speeds) - min(speeds)

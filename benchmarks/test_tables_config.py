@@ -1,0 +1,32 @@
+"""Benchmarks: Tables II and III — configuration echoes.
+
+These are trivial to "regenerate" but included so every table of the
+paper has a bench target; they assert the modelled system matches the
+paper's parameters exactly.
+"""
+
+from repro.config import QPS_TABLE, SystemConfig
+from repro.experiments import tables
+
+from .conftest import report, run_once
+
+
+def test_table2_system_parameters(benchmark):
+    text = run_once(benchmark, tables.format_table2)
+    report("table2", text)
+    cfg = SystemConfig()
+    assert cfg.num_cores == 20
+    assert cfg.llc_size_mb == 20.0
+    assert cfg.llc_bank_ways == 32
+    assert cfg.l1_size_kb == 32 and cfg.l1_latency == 3
+    assert cfg.l2_size_kb == 128 and cfg.l2_latency == 6
+    assert cfg.llc_bank_latency == 13
+    assert cfg.mem_latency == 120
+
+
+def test_table3_workload_config(benchmark):
+    text = run_once(benchmark, tables.format_table3)
+    report("table3", text)
+    assert QPS_TABLE["xapian"].high_qps == 570
+    assert QPS_TABLE["silo"].num_queries == 3500
+    assert QPS_TABLE["moses"].low_qps == 34

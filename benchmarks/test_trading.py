@@ -1,0 +1,64 @@
+"""Benchmark: the trade algorithm's negative result (paper Sec. VIII-C).
+
+The paper implemented an algorithm that trades allocations between
+batch and latency-critical applications and found that, because trades
+cannot penalise latency-critical apps, "trades were very rare and
+yielded little speedup" — so Jumanji ships the simple LatCritPlacer.
+This benchmark reproduces that finding across several mixes.
+"""
+
+from repro.core.jumanji import jumanji_placer
+from repro.core.trading import trade_placement
+from repro.model.workload import make_default_workload
+from repro.workloads.mixes import base_app
+from repro.workloads.tailbench import get_lc_profile
+
+from .conftest import report, run_once
+
+
+def test_trading_negative_result(benchmark):
+    def measure():
+        total_trades = 0
+        rtt_gains = []
+        for mix_seed in range(6):
+            workload = make_default_workload(
+                ["xapian"], mix_seed=mix_seed, load="high"
+            )
+            ctx = workload.build_context(
+                {a: 2.0 for a in workload.lc_apps}
+            )
+            alloc = jumanji_placer(ctx)
+            batch_rtt_before = [
+                alloc.avg_noc_rtt(a, ctx.tile_of(a), ctx.noc)
+                for a in ctx.batch_apps
+                if alloc.app_size(a) > 0
+            ]
+            profiles = {
+                a: get_lc_profile(base_app(a))
+                for a in workload.lc_apps
+            }
+            _alloc, applied = trade_placement(ctx, alloc, profiles)
+            total_trades += applied
+            batch_rtt_after = [
+                alloc.avg_noc_rtt(a, ctx.tile_of(a), ctx.noc)
+                for a in ctx.batch_apps
+                if alloc.app_size(a) > 0
+            ]
+            before = sum(batch_rtt_before) / len(batch_rtt_before)
+            after = sum(batch_rtt_after) / len(batch_rtt_after)
+            rtt_gains.append(before - after)
+        return total_trades, rtt_gains
+
+    total_trades, rtt_gains = run_once(benchmark, measure)
+    mean_gain = sum(rtt_gains) / len(rtt_gains)
+    report(
+        "trading_negative_result",
+        f"Trade algorithm over 6 mixes: {total_trades} trades "
+        f"applied; mean batch RTT gain {mean_gain:.2f} cycles "
+        "(paper: trades are very rare and yield little speedup)",
+    )
+    # The paper's negative result: almost no trades, negligible gain.
+    assert total_trades <= 6
+    assert mean_gain < 1.5
+    benchmark.extra_info["total_trades"] = total_trades
+    benchmark.extra_info["mean_rtt_gain"] = mean_gain

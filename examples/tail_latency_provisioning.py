@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Scenario: provisioning LLC space for a tail-latency SLO.
+
+A datacenter operator wants to know how much LLC a latency-critical
+service needs to meet its deadline — and how much D-NUCA placement
+changes the answer (the paper's Fig. 8 experiment, usable as a
+capacity-planning tool for any of the five LC app models).
+
+Run with::
+
+    python examples/tail_latency_provisioning.py [app]
+"""
+
+import sys
+
+from repro.experiments import fig8
+from repro.workloads import lc_profile_names
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "xapian"
+    if app not in lc_profile_names():
+        raise SystemExit(
+            f"unknown app {app!r}; choose from {lc_profile_names()}"
+        )
+    print(f"Provisioning study for {app} at high load")
+    result = fig8.run(lc_name=app, epochs=20)
+    print(fig8.format_table(result))
+    print()
+    s_min = result.min_size_meeting_deadline(dnuca=False)
+    d_min = result.min_size_meeting_deadline(dnuca=True)
+    if s_min is not None and d_min is not None:
+        freed = s_min - d_min
+        print(
+            f"Placing {app}'s allocation in nearby banks frees "
+            f"{freed:.2f} MB of LLC versus S-NUCA way-partitioning "
+            "while meeting the same deadline."
+        )
+
+
+if __name__ == "__main__":
+    main()

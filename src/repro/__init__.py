@@ -1,0 +1,73 @@
+"""repro: a reproduction of "Jumanji: The Case for Dynamic NUCA in the
+Datacenter" (Schwedock & Beckmann, MICRO 2020).
+
+The package builds, in pure Python, the full system the paper evaluates:
+a banked NUCA last-level cache over a mesh NoC, way-partitioning and
+DRRIP replacement inside each bank, Jigsaw-style placement hardware
+(virtual caches, placement descriptors, VTBs, UMONs), the Jumanji
+placement algorithms (feedback control, LatCritPlacer, bank-granular
+Lookahead, JumanjiPlacer), the baseline LLC designs it is compared
+against, and the experiment harness that regenerates every figure and
+table of the paper's evaluation.
+
+Quick start::
+
+    from repro import make_default_workload, run_design
+
+    workload = make_default_workload(["xapian"], mix_seed=0, load="high")
+    result = run_design("Jumanji", workload, num_epochs=20)
+    print(result.worst_lc_violation())   # < 1.0: deadlines met
+"""
+
+from .config import (
+    ControllerConfig,
+    QPS_TABLE,
+    SystemConfig,
+    VmSpec,
+)
+from .core import (
+    Allocation,
+    AppInfo,
+    DESIGNS,
+    FeedbackController,
+    JumanjiRuntime,
+    PlacementContext,
+    jumanji_placer,
+    lat_crit_placer,
+    lookahead,
+    make_design,
+)
+from .model import (
+    RunResult,
+    SystemModel,
+    WorkloadSpec,
+    compute_deadline_cycles,
+    make_default_workload,
+    run_design,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "ControllerConfig",
+    "QPS_TABLE",
+    "VmSpec",
+    "Allocation",
+    "AppInfo",
+    "PlacementContext",
+    "FeedbackController",
+    "JumanjiRuntime",
+    "DESIGNS",
+    "make_design",
+    "lookahead",
+    "lat_crit_placer",
+    "jumanji_placer",
+    "WorkloadSpec",
+    "make_default_workload",
+    "SystemModel",
+    "RunResult",
+    "run_design",
+    "compute_deadline_cycles",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Cache substrate: miss curves, banks, partitioning, replacement, UMONs."""
+
+from .bank import AccessResult, CacheBank
+from .misscurve import MissCurve, combine_curves
+from .partition import WayPartitioner
+from .replacement import (
+    BrripPolicy,
+    DrripPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+    SrripPolicy,
+    make_policy,
+)
+from .talus import TalusSplit, hull_vertices, talus_curve, talus_split
+from .umon import Umon
+from .vantage import VantageBank
+
+__all__ = [
+    "TalusSplit",
+    "talus_split",
+    "talus_curve",
+    "hull_vertices",
+    "VantageBank",
+    "AccessResult",
+    "CacheBank",
+    "MissCurve",
+    "combine_curves",
+    "WayPartitioner",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "SrripPolicy",
+    "BrripPolicy",
+    "DrripPolicy",
+    "make_policy",
+    "Umon",
+]

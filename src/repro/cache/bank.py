@@ -1,0 +1,253 @@
+"""A set-associative LLC bank with way-partitioning and limited ports.
+
+The bank is the unit of everything in this paper: Jumanji's security
+guarantee is "untrusted VMs never share a bank", the port attack is
+queueing at a bank's ports, and performance leakage flows through the
+bank's shared DRRIP state. This module models all three surfaces:
+
+* content (tags + partition-constrained replacement),
+* ports (a busy-until timestamp per port, exposing queueing delay),
+* replacement state (shared policy object, e.g. DRRIP set-dueling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .partition import WayPartitioner
+from .replacement import ReplacementPolicy, make_policy
+
+__all__ = ["AccessResult", "CacheBank"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one bank access.
+
+    ``port_wait`` is the number of cycles the access queued for a bank
+    port; ``finish_time`` includes the bank's access latency.
+    """
+
+    hit: bool
+    set_idx: int
+    way: Optional[int]
+    evicted_owner: Optional[object]
+    port_wait: int
+    finish_time: int
+
+
+class CacheBank:
+    """One LLC bank: ``num_sets`` x ``num_ways`` lines with few ports.
+
+    Addresses are line addresses (already shifted by the line-size bits).
+    Each line records the *partition* that owns it, so CAT-style quota
+    enforcement and the attacker-visibility analysis can both inspect
+    ownership.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_ways: int,
+        latency: int = 13,
+        num_ports: int = 1,
+        policy: str = "drrip",
+    ):
+        if num_sets < 1 or num_ways < 1:
+            raise ValueError("need at least one set and one way")
+        if num_ports < 1:
+            raise ValueError("bank needs at least one port")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+        self.latency = latency
+        self.num_ports = num_ports
+        self.policy: ReplacementPolicy = make_policy(
+            policy, num_sets, num_ways
+        )
+        self.partitioner = WayPartitioner(num_ways)
+        # tags[set][way] = line address or None; owners[set][way] = partition.
+        self._tags: List[List[Optional[int]]] = [
+            [None] * num_ways for _ in range(num_sets)
+        ]
+        self._owners: List[List[Optional[object]]] = [
+            [None] * num_ways for _ in range(num_sets)
+        ]
+        # Each port is modelled by the cycle at which it next becomes free.
+        self._port_free: List[int] = [0] * num_ports
+        # Statistics.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.port_conflicts = 0
+        self.total_port_wait = 0
+
+    # -- address mapping ------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        """Set index of a line address within this bank."""
+        return line_addr % self.num_sets
+
+    # -- port arbitration ------------------------------------------------------
+
+    def _acquire_port(self, now: int) -> Tuple[int, int]:
+        """Claim the earliest-free port at time ``now``.
+
+        Returns ``(wait_cycles, start_time)``. The port is held for the
+        bank's access latency, which is what creates the queueing delay the
+        port attack observes.
+        """
+        idx = min(range(self.num_ports), key=lambda i: self._port_free[i])
+        start = max(now, self._port_free[idx])
+        wait = start - now
+        self._port_free[idx] = start + self.latency
+        if wait > 0:
+            self.port_conflicts += 1
+            self.total_port_wait += wait
+        return wait, start
+
+    # -- lookup/fill -----------------------------------------------------------
+
+    def _find(self, set_idx: int, line_addr: int) -> Optional[int]:
+        tags = self._tags[set_idx]
+        for way in range(self.num_ways):
+            if tags[way] == line_addr:
+                return way
+        return None
+
+    def _eviction_candidates(
+        self, set_idx: int, partition: object
+    ) -> List[int]:
+        """Ways ``partition`` may fill into, honouring CAT quotas."""
+        owners = self._owners[set_idx]
+        tags = self._tags[set_idx]
+        # Invalid ways are always fair game.
+        invalid = [w for w in range(self.num_ways) if tags[w] is None]
+        owner_count = sum(1 for o in owners if o == partition)
+        candidates = [
+            w
+            for w in range(self.num_ways)
+            if tags[w] is not None
+            and self.partitioner.can_evict(partition, owners[w], owner_count)
+        ]
+        if invalid:
+            # Prefer claiming an invalid way when allowed to grow.
+            quota = self.partitioner.quota(partition)
+            if quota == 0 or owner_count < quota:
+                return invalid
+        if candidates:
+            return candidates
+        # A partition at quota with no own lines in this set (skewed
+        # distribution) must still make progress: fall back to its own
+        # lines anywhere, else any line.
+        own = [w for w in range(self.num_ways) if owners[w] == partition]
+        if own:
+            return own
+        return invalid if invalid else list(range(self.num_ways))
+
+    def access(
+        self, line_addr: int, partition: object = None, now: int = 0
+    ) -> AccessResult:
+        """Perform one access; returns hit/miss plus port-timing info.
+
+        Misses install the line immediately (fill latency is accounted by
+        the caller via the memory model; the bank only tracks content and
+        port occupancy).
+        """
+        port_wait, start = self._acquire_port(now)
+        set_idx = self.set_index(line_addr)
+        way = self._find(set_idx, line_addr)
+        if way is not None:
+            self.hits += 1
+            self.policy.on_hit(set_idx, way)
+            return AccessResult(
+                hit=True,
+                set_idx=set_idx,
+                way=way,
+                evicted_owner=None,
+                port_wait=port_wait,
+                finish_time=start + self.latency,
+            )
+        # Miss path: notify the policy (set-dueling counts misses), choose
+        # a victim within partition constraints, install.
+        self.misses += 1
+        self.policy.on_miss(set_idx)
+        candidates = self._eviction_candidates(set_idx, partition)
+        evicted_owner: Optional[object] = None
+        invalid = [w for w in candidates if self._tags[set_idx][w] is None]
+        if invalid:
+            victim = invalid[0]
+        else:
+            victim = self.policy.victim(set_idx, candidates)
+            evicted_owner = self._owners[set_idx][victim]
+            self.evictions += 1
+        self._tags[set_idx][victim] = line_addr
+        self._owners[set_idx][victim] = partition
+        self.policy.on_fill(set_idx, victim)
+        return AccessResult(
+            hit=False,
+            set_idx=set_idx,
+            way=victim,
+            evicted_owner=evicted_owner,
+            port_wait=port_wait,
+            finish_time=start + self.latency,
+        )
+
+    # -- inspection / management -------------------------------------------------
+
+    def contains(self, line_addr: int) -> bool:
+        """Whether the bank currently holds ``line_addr``."""
+        return self._find(self.set_index(line_addr), line_addr) is not None
+
+    def occupancy(self, partition: object) -> int:
+        """Number of lines currently owned by ``partition``."""
+        return sum(
+            1
+            for owners in self._owners
+            for o in owners
+            if o == partition
+        )
+
+    def resident_partitions(self) -> set:
+        """All partitions with at least one line in the bank."""
+        return {
+            o for owners in self._owners for o in owners if o is not None
+        }
+
+    def invalidate_partition(self, partition: object) -> int:
+        """Invalidate all lines of ``partition`` (coherence walk / flush).
+
+        Returns the number of lines invalidated. This is the "walk the
+        array in the background" mechanism Jigsaw/Jumanji use when data
+        placement changes, and the flush Jumanji performs when VMs must
+        share a bank on context switch.
+        """
+        count = 0
+        for set_idx in range(self.num_sets):
+            for way in range(self.num_ways):
+                if self._owners[set_idx][way] == partition:
+                    self._tags[set_idx][way] = None
+                    self._owners[set_idx][way] = None
+                    count += 1
+        return count
+
+    def flush(self) -> int:
+        """Invalidate the whole bank; returns lines invalidated."""
+        count = 0
+        for set_idx in range(self.num_sets):
+            for way in range(self.num_ways):
+                if self._tags[set_idx][way] is not None:
+                    count += 1
+                self._tags[set_idx][way] = None
+                self._owners[set_idx][way] = None
+        return count
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction/port counters (content kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.port_conflicts = 0
+        self.total_port_wait = 0

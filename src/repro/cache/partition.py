@@ -1,0 +1,99 @@
+"""Way-partitioning (Intel CAT-style) for a single LLC bank.
+
+A :class:`WayPartitioner` assigns each partition a contiguous *number of
+ways*; on a fill, the replacement victim is chosen only among lines owned
+by the filling partition (plus unowned lines), which is how CAT-style
+allocation enforcement behaves. Partitions defend conflict attacks
+(attacker evictions cannot touch victim ways) but — as the paper stresses —
+do nothing about bank ports or shared replacement state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["WayPartitioner"]
+
+
+class WayPartitioner:
+    """Tracks per-partition way quotas within one bank.
+
+    Quotas are in ways. The sum of quotas must never exceed the bank's
+    associativity. Partition id ``None`` denotes unpartitioned space that
+    anyone may use.
+    """
+
+    def __init__(self, num_ways: int):
+        if num_ways < 1:
+            raise ValueError("bank must have at least one way")
+        self._num_ways = num_ways
+        self._quota: Dict[object, int] = {}
+
+    @property
+    def num_ways(self) -> int:
+        """The bank's associativity."""
+        return self._num_ways
+
+    @property
+    def allocated_ways(self) -> int:
+        """Total ways currently handed out to partitions."""
+        return sum(self._quota.values())
+
+    @property
+    def free_ways(self) -> int:
+        """Ways not assigned to any partition (shared space)."""
+        return self._num_ways - self.allocated_ways
+
+    def quota(self, partition: object) -> int:
+        """Quota of ``partition`` (0 if it has none)."""
+        return self._quota.get(partition, 0)
+
+    def partitions(self) -> Dict[object, int]:
+        """Snapshot of partition -> quota."""
+        return dict(self._quota)
+
+    def set_quota(self, partition: object, ways: int) -> None:
+        """Assign ``partition`` a quota of ``ways`` ways.
+
+        A quota of zero removes the partition. Raises if the new total
+        would exceed the bank's associativity.
+        """
+        if ways < 0:
+            raise ValueError("quota must be non-negative")
+        new_total = self.allocated_ways - self.quota(partition) + ways
+        if new_total > self._num_ways:
+            raise ValueError(
+                f"quota overflow: {new_total} ways requested, bank has "
+                f"{self._num_ways}"
+            )
+        if ways == 0:
+            self._quota.pop(partition, None)
+        else:
+            self._quota[partition] = ways
+
+    def clear(self) -> None:
+        """Remove all partitions."""
+        self._quota.clear()
+
+    def can_evict(
+        self, filler: object, owner: Optional[object], owner_count: int
+    ) -> bool:
+        """May partition ``filler`` evict a line owned by ``owner``?
+
+        ``owner_count`` is how many lines in the set ``filler`` currently
+        owns. CAT semantics: a partitioned filler may evict its own lines
+        or lines in unpartitioned space, but only if it is at or over its
+        quota does it stay within it; below quota it may also claim
+        invalid/unowned ways. An unpartitioned filler may only touch
+        unpartitioned lines.
+        """
+        filler_quota = self.quota(filler)
+        if filler_quota == 0:
+            # Filler lives in the shared (unpartitioned) space.
+            return owner is None or self.quota(owner) == 0
+        if owner == filler:
+            return True
+        if owner is None or self.quota(owner) == 0:
+            # Unowned / shared line: claimable while under quota.
+            return owner_count < filler_quota
+        return False

@@ -1,0 +1,108 @@
+"""Talus cliff removal (Beckmann & Sanchez, HPCA 2015).
+
+The paper approximates DRRIP's miss curve "by taking the convex hull of
+LRU's miss curve, which can be measured much more cheaply [7, 81]" —
+reference [7] is Talus. Talus *achieves* the convex hull of any policy's
+miss curve by splitting one partition into two shadow partitions: a
+fraction ``rho`` of the access stream (selected by address hash) goes to
+a shadow partition of size ``s1`` and the rest to one of size ``s2``,
+where ``s1`` and ``s2`` are hull vertices bracketing the target size.
+By linearity of expectation the combined miss rate interpolates the
+hull — turning any cliff into its chord.
+
+This module computes the Talus split for a measured curve and provides
+the hulled curve that placement algorithms consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .misscurve import MissCurve
+
+__all__ = ["TalusSplit", "talus_split", "talus_curve", "hull_vertices"]
+
+
+@dataclass(frozen=True)
+class TalusSplit:
+    """A Talus configuration for one target size.
+
+    A fraction ``rho`` of accesses is steered to a shadow partition of
+    ``size1`` units; the remaining ``1 - rho`` to one of ``size2``
+    units, with ``rho * size1 + (1 - rho) * size2 == size``.
+    """
+
+    size: float
+    size1: float
+    size2: float
+    rho: float
+    expected_misses: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rho <= 1.0:
+            raise ValueError("rho must be in [0, 1]")
+
+
+def hull_vertices(curve: MissCurve) -> List[Tuple[float, float]]:
+    """(size, misses) vertices of the curve's lower convex hull."""
+    hull = curve.convex_hull()
+    xs = np.arange(curve.num_points) * curve.step
+    ys = hull.values
+    vertices = [(float(xs[0]), float(ys[0]))]
+    for i in range(1, curve.num_points - 1):
+        # Keep points where the slope changes (true hull vertices).
+        left = (ys[i] - ys[i - 1]) / curve.step
+        right = (ys[i + 1] - ys[i]) / curve.step
+        if abs(left - right) > 1e-12:
+            vertices.append((float(xs[i]), float(ys[i])))
+    vertices.append((float(xs[-1]), float(ys[-1])))
+    return vertices
+
+
+def talus_split(curve: MissCurve, size: float) -> TalusSplit:
+    """The Talus shadow-partition split achieving the hull at ``size``.
+
+    When ``size`` sits on a hull vertex no split is needed
+    (``rho = 1``); otherwise the bracketing vertices define the split.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    size = min(size, curve.max_size)
+    vertices = hull_vertices(curve)
+    for vx, vy in vertices:
+        if abs(vx - size) < 1e-12:
+            return TalusSplit(
+                size=size, size1=vx, size2=vx, rho=1.0,
+                expected_misses=vy,
+            )
+    lo = max(v for v in vertices if v[0] < size)
+    hi = min(v for v in vertices if v[0] > size)
+    frac = (size - lo[0]) / (hi[0] - lo[0])
+    # Steer `frac` of capacity into the larger shadow partition.
+    # Misses interpolate linearly between the vertex miss rates.
+    expected = lo[1] * (1 - frac) + hi[1] * frac
+    # rho: fraction of the access stream into partition 1 (size1 = hi).
+    # Talus sizes shadow partitions in proportion to their stream share:
+    # size1 = rho^-1-scaled... using the standard construction where
+    # each shadow partition behaves like a `1/share`-scaled cache:
+    # share of stream to the large vertex equals `frac`.
+    return TalusSplit(
+        size=size,
+        size1=hi[0],
+        size2=lo[0],
+        rho=frac,
+        expected_misses=expected,
+    )
+
+
+def talus_curve(curve: MissCurve) -> MissCurve:
+    """The miss curve the partition exhibits under Talus = its hull.
+
+    This is exactly what the paper's UMON path does for DRRIP banks:
+    measure LRU cheaply, take the hull, and let placement treat the
+    result as the achievable curve.
+    """
+    return curve.convex_hull()

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``designs``              — list the available LLC designs
+* ``run``                  — run one design on one workload, print metrics
+* ``figure <name>``        — regenerate one of the paper's figures/tables
+* ``deadline <app>``       — print an LC app's computed deadline
+* ``report``               — assemble results/ into a single SUMMARY.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .config import CORE_FREQ_HZ
+from .core.designs import DESIGNS
+from .metrics.speedup import weighted_speedup
+from .model.system import compute_deadline_cycles, run_design
+from .model.workload import make_default_workload
+from .workloads.tailbench import lc_profile_names
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = (
+    "fig2", "fig4", "fig5", "fig8", "fig9", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "table1", "table2", "table3",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Jumanji: The Case for Dynamic NUCA in "
+            "the Datacenter' (MICRO 2020)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list available LLC designs")
+
+    run = sub.add_parser("run", help="run one design on one workload")
+    run.add_argument("design", choices=sorted(DESIGNS))
+    run.add_argument(
+        "--lc", default="xapian",
+        help="LC app (or 'Mixed'); default xapian",
+    )
+    run.add_argument("--load", choices=("high", "low"), default="high")
+    run.add_argument("--mix", type=int, default=0,
+                     help="batch-mix seed")
+    run.add_argument("--epochs", type=int, default=20)
+    run.add_argument("--seed", type=int, default=0)
+
+    fig = sub.add_parser(
+        "figure", help="regenerate one of the paper's figures/tables"
+    )
+    fig.add_argument("name", choices=_FIGURES)
+    fig.add_argument("--mixes", type=int, default=None)
+    fig.add_argument("--epochs", type=int, default=None)
+
+    dl = sub.add_parser(
+        "deadline", help="print an LC app's computed deadline"
+    )
+    dl.add_argument("app", choices=lc_profile_names())
+
+    rep = sub.add_parser(
+        "report",
+        help="assemble results/ into a single SUMMARY.md",
+    )
+    rep.add_argument(
+        "--results", default="results",
+        help="directory holding per-figure reports (default results/)",
+    )
+
+    return parser
+
+
+def _cmd_designs() -> int:
+    for name in DESIGNS:
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.lc == "Mixed":
+        from .workloads.mixes import random_lc_mix
+
+        lc_apps = list(random_lc_mix(args.mix))
+    else:
+        lc_apps = [args.lc]
+    workload = make_default_workload(
+        lc_apps, mix_seed=args.mix, load=args.load
+    )
+    static = run_design(
+        "Static", workload, num_epochs=args.epochs, seed=args.seed
+    )
+    result = (
+        static
+        if args.design == "Static"
+        else run_design(
+            args.design, workload, num_epochs=args.epochs,
+            seed=args.seed,
+        )
+    )
+    speedup = weighted_speedup(
+        result.batch_ipcs(), static.batch_ipcs()
+    )
+    print(f"design:            {result.design}")
+    print(f"workload:          {args.lc} x4 + mix {args.mix}, "
+          f"{args.load} load")
+    print(f"batch speedup:     {speedup:.3f} (vs Static)")
+    print("tail latency / deadline:")
+    for app in sorted(result.lc_deadlines):
+        print(f"  {app:<14s} {result.lc_tail_normalized(app):6.2f}")
+    print(f"vulnerability:     {result.avg_vulnerability():.2f} "
+          "attackers/access")
+    print(f"avg LC allocation: {result.avg_lc_size():.2f} MB")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from . import experiments as E
+
+    name = args.name
+    kwargs = {}
+    if args.mixes is not None:
+        kwargs["mixes"] = args.mixes
+    if args.epochs is not None:
+        kwargs["epochs"] = args.epochs
+    if name == "table2":
+        print(E.tables.format_table2())
+        return 0
+    if name == "table3":
+        print(E.tables.format_table3())
+        return 0
+    if name == "table1":
+        print(E.tables.format_table1(E.tables.run_table1(**kwargs)))
+        return 0
+    if name in ("fig2", "fig8", "fig11"):
+        kwargs.pop("mixes", None)
+    if name == "fig2":
+        kwargs.pop("epochs", None)
+    if name == "fig11":
+        kwargs.pop("epochs", None)
+    if name == "fig12":
+        kwargs.pop("epochs", None)
+        if "mixes" in kwargs:
+            kwargs["num_mixes"] = kwargs.pop("mixes")
+    if name in ("fig4", "fig5", "fig9"):
+        kwargs.pop("mixes", None)
+    module = getattr(E, name)
+    result = module.run(**kwargs)
+    print(module.format_table(result))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Assemble the reproduction summary from per-figure reports."""
+    import pathlib
+
+    from .experiments.report import collect, write_summary
+
+    results = pathlib.Path(args.results)
+    if not results.is_dir():
+        print(f"no results directory at {results}; run the benchmarks "
+              "first (pytest benchmarks/ --benchmark-only)")
+        return 1
+    status = collect(results)
+    write_summary(results)
+    print(
+        f"wrote {results / 'SUMMARY.md'} "
+        f"({len(status.present)} artifacts, "
+        f"{'complete' if status.complete else 'incomplete'})"
+    )
+    return 0
+
+
+def _cmd_deadline(args: argparse.Namespace) -> int:
+    cycles = compute_deadline_cycles(args.app)
+    print(
+        f"{args.app}: {cycles:.3g} cycles "
+        f"({cycles / CORE_FREQ_HZ * 1e3:.2f} ms at 2.66 GHz)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "designs":
+        return _cmd_designs()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "deadline":
+        return _cmd_deadline(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

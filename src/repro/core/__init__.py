@@ -1,0 +1,68 @@
+"""Jumanji's core: placement algorithms, feedback control, LLC designs."""
+
+from .allocation import Allocation, PARTITION_MODES
+from .context import AppInfo, PlacementContext
+from .controller import ControllerDecision, FeedbackController
+from .designs import (
+    DESIGNS,
+    AdaptiveDesign,
+    JigsawDesign,
+    JumanjiDesign,
+    JumanjiIdealBatchDesign,
+    JumanjiInsecureDesign,
+    LlcDesign,
+    StaticDesign,
+    VmPartDesign,
+    make_design,
+)
+from .interface import JumanjiSyscalls, RequestToken, TrustDomain
+from .jigsaw import jigsaw_place, place_sizes_near_tiles
+from .threadplacement import (
+    contention_aware_lc_threads,
+    placement_contention,
+    spread_lc_threads,
+)
+from .trading import Trade, apply_trades, find_trades, trade_placement
+from .jumanji import assign_banks_to_vms, jumanji_placer, vm_batch_curves
+from .latcrit import lat_crit_placer
+from .lookahead import jumanji_lookahead, lookahead
+from .runtime import JumanjiRuntime, ReconfigRecord
+
+__all__ = [
+    "Allocation",
+    "PARTITION_MODES",
+    "AppInfo",
+    "PlacementContext",
+    "FeedbackController",
+    "ControllerDecision",
+    "LlcDesign",
+    "StaticDesign",
+    "AdaptiveDesign",
+    "VmPartDesign",
+    "JigsawDesign",
+    "JumanjiDesign",
+    "JumanjiInsecureDesign",
+    "JumanjiIdealBatchDesign",
+    "DESIGNS",
+    "make_design",
+    "lookahead",
+    "jumanji_lookahead",
+    "lat_crit_placer",
+    "jigsaw_place",
+    "place_sizes_near_tiles",
+    "jumanji_placer",
+    "vm_batch_curves",
+    "assign_banks_to_vms",
+    "JumanjiRuntime",
+    "ReconfigRecord",
+    "JumanjiSyscalls",
+    "TrustDomain",
+    "RequestToken",
+    "spread_lc_threads",
+    "contention_aware_lc_threads",
+    "placement_contention",
+    "Trade",
+    "find_trades",
+    "apply_trades",
+    "trade_placement",
+]

@@ -1,0 +1,230 @@
+"""The allocation matrix: how much LLC space each app owns in each bank.
+
+Every placement algorithm in this reproduction produces an
+:class:`Allocation` — the ``allocs[b][a]`` matrix of the paper's
+Listings 2 and 3 — plus a partitioning mode describing how space is
+enforced within banks (which determines associativity effects and attack
+surfaces). Downstream consumers (performance model, security metrics,
+descriptor generation) all read from this one structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..config import SystemConfig
+from ..noc.mesh import MeshNoc
+from ..vtb.vtb import PlacementDescriptor, descriptor_from_allocation
+
+__all__ = ["Allocation", "PARTITION_MODES"]
+
+#: How intra-bank space is enforced:
+#: * ``per-app``  — every app has its own way-partition (D-NUCAs);
+#: * ``per-vm``   — VMs are partitioned, apps within a VM share (VM-Part);
+#: * ``lc-only``  — only LC apps are partitioned; batch shares the rest
+#:   (Static, Adaptive);
+#: * ``none``     — fully shared.
+PARTITION_MODES = ("per-app", "per-vm", "lc-only", "none")
+
+
+@dataclass
+class Allocation:
+    """LLC space assignment: bank -> app -> MB.
+
+    ``partition_mode`` describes intra-bank enforcement (see
+    :data:`PARTITION_MODES`). ``shared_batch`` lists apps that are *not*
+    way-partitioned (they share leftover space); their ``allocs`` entries
+    record the modelled occupancy rather than a hard quota.
+    """
+
+    config: SystemConfig
+    allocs: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    partition_mode: str = "per-app"
+    shared_batch: Set[str] = field(default_factory=set)
+    #: app -> partition-group key. Apps sharing a group share one
+    #: way-partition (e.g. all batch apps of a VM under VM-Part); the
+    #: associativity available to an app is its *group's* ways.
+    partition_groups: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.partition_mode not in PARTITION_MODES:
+            raise ValueError(
+                f"partition_mode must be one of {PARTITION_MODES}"
+            )
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, bank: int, app: str, mb: float) -> None:
+        """Grant ``app`` ``mb`` MB in ``bank`` (accumulates)."""
+        if not 0 <= bank < self.config.num_banks:
+            raise ValueError(f"bank {bank} out of range")
+        if mb < 0:
+            raise ValueError("allocation must be non-negative")
+        if mb == 0:
+            return
+        bank_map = self.allocs.setdefault(bank, {})
+        bank_map[app] = bank_map.get(app, 0.0) + mb
+        if self.bank_used(bank) > self.config.llc_bank_mb + 1e-9:
+            raise ValueError(
+                f"bank {bank} over-committed: {self.bank_used(bank):.3f} MB"
+            )
+
+    # -- queries ------------------------------------------------------------------
+
+    def bank_used(self, bank: int) -> float:
+        """MB committed in ``bank``."""
+        return sum(self.allocs.get(bank, {}).values())
+
+    def bank_free(self, bank: int) -> float:
+        """MB still free in ``bank``."""
+        return self.config.llc_bank_mb - self.bank_used(bank)
+
+    def app_size(self, app: str) -> float:
+        """Total MB owned by ``app`` across all banks."""
+        return sum(
+            bank_map.get(app, 0.0) for bank_map in self.allocs.values()
+        )
+
+    def app_banks(self, app: str) -> List[int]:
+        """Banks where ``app`` has space, ascending."""
+        return sorted(
+            b for b, bank_map in self.allocs.items()
+            if bank_map.get(app, 0.0) > 0
+        )
+
+    def apps_in_bank(self, bank: int) -> List[str]:
+        """Apps with space in ``bank``."""
+        return sorted(
+            a for a, mb in self.allocs.get(bank, {}).items() if mb > 0
+        )
+
+    def apps(self) -> List[str]:
+        """All apps with any allocation."""
+        out: Set[str] = set()
+        for bank_map in self.allocs.values():
+            out.update(a for a, mb in bank_map.items() if mb > 0)
+        return sorted(out)
+
+    def total_used(self) -> float:
+        """MB committed across the whole LLC."""
+        return sum(self.bank_used(b) for b in self.allocs)
+
+    # -- derived quantities ----------------------------------------------------------
+
+    def avg_noc_rtt(self, app: str, tile: int, noc: MeshNoc) -> float:
+        """Average round-trip NoC latency from ``tile`` to the app's data.
+
+        Weighted by the fraction of the app's allocation in each bank —
+        with proportional placement descriptors, this is the expected
+        per-access NoC latency.
+        """
+        size = self.app_size(app)
+        if size <= 0:
+            # No LLC space: accesses still traverse to a home bank;
+            # model as the S-NUCA average.
+            banks = range(self.config.num_banks)
+            return sum(noc.round_trip(tile, b) for b in banks) / (
+                self.config.num_banks
+            )
+        total = 0.0
+        for bank, bank_map in self.allocs.items():
+            mb = bank_map.get(app, 0.0)
+            if mb > 0:
+                total += noc.round_trip(tile, bank) * (mb / size)
+        return total
+
+    def avg_noc_hops(self, app: str, tile: int, noc: MeshNoc) -> float:
+        """Average one-way hop count from ``tile`` to the app's data."""
+        size = self.app_size(app)
+        if size <= 0:
+            banks = range(self.config.num_banks)
+            return sum(noc.hops(tile, b) for b in banks) / (
+                self.config.num_banks
+            )
+        total = 0.0
+        for bank, bank_map in self.allocs.items():
+            mb = bank_map.get(app, 0.0)
+            if mb > 0:
+                total += noc.hops(tile, bank) * (mb / size)
+        return total
+
+    def ways_per_bank(self, app: str) -> float:
+        """Average partition associativity available to ``app``.
+
+        The associativity an app sees is that of its *partition*: its own
+        allocation, or its group's when ``partition_groups`` places
+        several apps in one partition (e.g. a VM's batch apps under
+        VM-Part). Weighted by the app's per-bank allocation fraction: an
+        app whose partition spans 0.25 MB of a 1 MB 32-way bank has 8
+        ways there. Low values cause the associativity penalties the
+        paper attributes to way-partitioning.
+        """
+        size = self.app_size(app)
+        if size <= 0:
+            return 0.0
+        group = self.partition_groups.get(app)
+        if group is not None:
+            members = {
+                a
+                for a, g in self.partition_groups.items()
+                if g == group
+            }
+        else:
+            members = {app}
+        ways_per_mb = self.config.llc_bank_ways / self.config.llc_bank_mb
+        total = 0.0
+        for bank_map in self.allocs.values():
+            mb = bank_map.get(app, 0.0)
+            if mb <= 0:
+                continue
+            group_mb = sum(bank_map.get(a, 0.0) for a in members)
+            total += (group_mb * ways_per_mb) * (mb / size)
+        return total
+
+    def descriptor_for(self, app: str) -> PlacementDescriptor:
+        """Placement descriptor realising this allocation for ``app``."""
+        alloc = {
+            b: bank_map.get(app, 0.0)
+            for b, bank_map in self.allocs.items()
+            if bank_map.get(app, 0.0) > 0
+        }
+        if not alloc:
+            raise ValueError(f"app {app!r} has no allocation")
+        return descriptor_from_allocation(alloc)
+
+    # -- security ------------------------------------------------------------------
+
+    def bank_vms(self, vm_of_app: Mapping[str, int]) -> Dict[int, Set[int]]:
+        """VMs with data in each bank."""
+        out: Dict[int, Set[int]] = {}
+        for bank, bank_map in self.allocs.items():
+            vms = {
+                vm_of_app[a] for a, mb in bank_map.items() if mb > 0
+            }
+            if vms:
+                out[bank] = vms
+        return out
+
+    def violates_bank_isolation(
+        self, vm_of_app: Mapping[str, int]
+    ) -> List[int]:
+        """Banks shared by more than one VM (Jumanji guarantees none)."""
+        return sorted(
+            bank
+            for bank, vms in self.bank_vms(vm_of_app).items()
+            if len(vms) > 1
+        )
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on failure."""
+        for bank, bank_map in self.allocs.items():
+            if not 0 <= bank < self.config.num_banks:
+                raise ValueError(f"bank {bank} out of range")
+            for app, mb in bank_map.items():
+                if mb < 0:
+                    raise ValueError(
+                        f"negative allocation for {app} in bank {bank}"
+                    )
+            if self.bank_used(bank) > self.config.llc_bank_mb + 1e-9:
+                raise ValueError(f"bank {bank} over-committed")

@@ -1,0 +1,187 @@
+"""Feedback control of latency-critical allocations (paper Listing 1).
+
+Every completed request reports its end-to-end latency (including
+queueing). After ``configuration_interval`` requests, the controller
+computes the tail percentile of the window and adjusts the app's
+allocation:
+
+* tail > ``panic_threshold`` x deadline  -> panic-boost to a canonical
+  safe size (one-eighth of the LLC);
+* tail > ``target_hi`` x deadline        -> grow by ``step`` (10%);
+* tail < ``target_lo`` x deadline        -> shrink by ``step``;
+* otherwise                               -> hold.
+
+The panic boost exists because even very short spikes in queueing
+latency frequently set the tail (Sec. V-C); waiting for gradual growth
+would miss deadlines for whole windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import ControllerConfig, SystemConfig
+from ..sim.queueing import percentile
+
+__all__ = ["FeedbackController", "ControllerDecision"]
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One sizing decision, for logging/inspection."""
+
+    app: str
+    tail_latency: float
+    deadline: float
+    old_size_mb: float
+    new_size_mb: float
+    action: str  # 'grow' | 'shrink' | 'hold' | 'panic'
+
+
+class FeedbackController:
+    """Per-app allocation sizing by tail-latency feedback.
+
+    Sizes are in MB, clamped to ``[min_size_mb, max_size_mb]``. Separate
+    latency windows are kept per app, so one controller instance serves
+    the whole machine (as Jumanji's runtime does).
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        config: Optional[ControllerConfig] = None,
+        initial_size_mb: float = 2.5,
+        min_size_mb: float = 0.25,
+    ):
+        self.system = system
+        self.config = config if config is not None else ControllerConfig()
+        if initial_size_mb <= 0:
+            raise ValueError("initial size must be positive")
+        if min_size_mb <= 0:
+            raise ValueError("min size must be positive")
+        self.initial_size_mb = initial_size_mb
+        self.min_size_mb = min_size_mb
+        self.max_size_mb = system.llc_size_mb
+        self._sizes: Dict[str, float] = {}
+        self._windows: Dict[str, List[float]] = {}
+        self._deadlines: Dict[str, float] = {}
+        self._resized_this_epoch: set = set()
+        self.decisions: List[ControllerDecision] = []
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, app: str, deadline: float) -> None:
+        """Register an LC app with its tail-latency deadline.
+
+        Mirrors the paper's system-call interface: apps report goals,
+        not resource requests (Sec. V-B).
+        """
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self._deadlines[app] = deadline
+        self._sizes.setdefault(app, self.initial_size_mb)
+        self._windows.setdefault(app, [])
+
+    def registered(self) -> List[str]:
+        """Names of registered LC apps, sorted."""
+        return sorted(self._deadlines)
+
+    def size_of(self, app: str) -> float:
+        """Current allocation target for ``app`` (MB)."""
+        try:
+            return self._sizes[app]
+        except KeyError:
+            raise KeyError(f"app {app!r} not registered") from None
+
+    def sizes(self) -> Dict[str, float]:
+        """Snapshot of app -> current allocation target (MB)."""
+        return dict(self._sizes)
+
+    def deadline_of(self, app: str) -> float:
+        """The registered deadline (cycles) for an app."""
+        return self._deadlines[app]
+
+    @property
+    def panic_size_mb(self) -> float:
+        """The canonical safe size: one-eighth of the LLC."""
+        return self.system.llc_size_mb * self.config.panic_fraction
+
+    # -- the Listing 1 update path ---------------------------------------------------
+
+    def epoch_boundary(self) -> None:
+        """Signal that a reconfiguration has applied pending decisions.
+
+        Allocation changes only take effect at the 100 ms placement
+        epochs, so the controller limits itself to one non-panic resize
+        per epoch: additional windows within the same epoch observe the
+        *old* allocation, and acting on that stale feedback compounds
+        (e.g. seven shrink windows firing before any takes effect).
+        Panic boosts are exempt — missing a deadline is the one signal
+        worth acting on repeatedly.
+        """
+        self._resized_this_epoch.clear()
+
+    def request_completed(self, app: str, latency: float) -> Optional[
+        ControllerDecision
+    ]:
+        """Record one completed request; maybe resize (Listing 1).
+
+        Returns the decision if the window filled, else ``None``.
+        """
+        if app not in self._deadlines:
+            raise KeyError(f"app {app!r} not registered")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        window = self._windows[app]
+        window.append(latency)
+        if len(window) <= self.config.configuration_interval:
+            return None
+        tail = percentile(window, self.config.percentile)
+        window.clear()
+        return self._update(app, tail)
+
+    def _update(self, app: str, tail: float) -> ControllerDecision:
+        cfg = self.config
+        deadline = self._deadlines[app]
+        old = self._sizes[app]
+        throttled = app in self._resized_this_epoch
+        if tail > deadline * cfg.panic_threshold:
+            new = max(old, self.panic_size_mb)
+            action = "panic"
+        elif tail > deadline * cfg.target_hi and not throttled:
+            new = old * (1.0 + cfg.step)
+            action = "grow"
+        elif tail < deadline * cfg.target_lo and not throttled:
+            new = old * (1.0 - cfg.step)
+            action = "shrink"
+        else:
+            new = old
+            action = "hold"
+        if action in ("grow", "shrink"):
+            self._resized_this_epoch.add(app)
+        new = min(max(new, self.min_size_mb), self.max_size_mb)
+        self._sizes[app] = new
+        decision = ControllerDecision(
+            app=app,
+            tail_latency=tail,
+            deadline=deadline,
+            old_size_mb=old,
+            new_size_mb=new,
+            action=action,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def force_update(self, app: str, tail: float) -> ControllerDecision:
+        """Apply one update from an externally computed tail latency.
+
+        The epoch-level system model computes tails per 100 ms window
+        rather than streaming individual completions; this entry point
+        feeds those directly into the same decision logic.
+        """
+        if app not in self._deadlines:
+            raise KeyError(f"app {app!r} not registered")
+        if tail < 0:
+            raise ValueError("tail must be non-negative")
+        return self._update(app, tail)

@@ -1,0 +1,120 @@
+"""Fig. 17: Jumanji's batch speedup as the number of VMs varies.
+
+The 4 LC + 16 batch apps are regrouped into 1, 2, 4, 5, 10, or 12 VMs
+(12 = one VM per LC app plus one per pair of batch apps). More VMs mean
+stricter bank isolation (more, smaller partitions). Expected shape:
+speedup degrades only slightly — from ~16% with one VM (no isolation
+constraint) to ~13% with twelve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SystemConfig
+from ..metrics.speedup import gmean, weighted_speedup
+from ..model.system import run_design
+from ..model.workload import WorkloadSpec
+from ..workloads.mixes import (
+    build_vm_configuration,
+    random_batch_mix,
+    random_lc_mix,
+)
+from .common import num_epochs, num_mixes
+
+__all__ = ["Fig17Result", "VM_CONFIGS", "run", "format_table"]
+
+#: VM counts evaluated by the paper.
+VM_CONFIGS = (1, 2, 4, 5, 10, 12)
+
+
+def _config_label(num_vms: int) -> str:
+    if num_vms == 1:
+        return "1x(4LC+16B)"
+    if num_vms == 2:
+        return "2x(2LC+8B)"
+    if num_vms == 4:
+        return "4x(1LC+4B)"
+    if num_vms == 5:
+        return "4x(1LC)+1x(16B)"
+    if num_vms == 10:
+        return "4x(1LC)+6xB"
+    if num_vms == 12:
+        return "4x(1LC)+8x(2B)"
+    return f"{num_vms} VMs"
+
+
+@dataclass
+class Fig17Result:
+    #: num_vms -> gmean speedup over mixes.
+    """Result container for this experiment."""
+    speedups: Dict[int, float]
+    #: num_vms -> worst normalised LC tail over mixes.
+    worst_tails: Dict[int, float]
+
+    def degradation(self) -> float:
+        """Speedup drop from fewest to most VMs."""
+        vm_counts = sorted(self.speedups)
+        return self.speedups[vm_counts[0]] - self.speedups[vm_counts[-1]]
+
+
+def run(
+    vm_configs: Sequence[int] = VM_CONFIGS,
+    mixes: Optional[int] = None,
+    epochs: Optional[int] = None,
+    load: str = "high",
+    config: Optional[SystemConfig] = None,
+) -> Fig17Result:
+    """Run the experiment; returns its result object."""
+    mixes = mixes if mixes is not None else num_mixes()
+    epochs = epochs if epochs is not None else num_epochs()
+    config = config if config is not None else SystemConfig()
+    speedups: Dict[int, List[float]] = {v: [] for v in vm_configs}
+    tails: Dict[int, List[float]] = {v: [] for v in vm_configs}
+    for mix_seed in range(mixes):
+        lc_apps = list(random_lc_mix(mix_seed))
+        batch_apps = list(random_batch_mix(mix_seed))
+        for num_vms in vm_configs:
+            vms = build_vm_configuration(
+                num_vms, lc_apps, batch_apps, config
+            )
+            workload = WorkloadSpec(config=config, vms=vms, load=load)
+            static = run_design(
+                "Static", workload, num_epochs=epochs, seed=mix_seed
+            )
+            jumanji = run_design(
+                "Jumanji", workload, num_epochs=epochs, seed=mix_seed
+            )
+            speedups[num_vms].append(
+                weighted_speedup(
+                    jumanji.batch_ipcs(), static.batch_ipcs()
+                )
+            )
+            tails[num_vms].append(
+                max(
+                    jumanji.lc_tail_normalized(a)
+                    for a in jumanji.lc_deadlines
+                )
+            )
+    return Fig17Result(
+        speedups={v: gmean(s) for v, s in speedups.items()},
+        worst_tails={v: max(t) for v, t in tails.items()},
+    )
+
+
+def format_table(result: Fig17Result) -> str:
+    """Render the result as the paper-style text report."""
+    lines = [
+        "Fig. 17 — Jumanji batch speedup vs. number of VMs "
+        "(mixed LC, high load)",
+        f"{'config':<18s} {'gmean speedup':>14s} {'worst tail':>11s}",
+    ]
+    for num_vms in sorted(result.speedups):
+        lines.append(
+            f"{_config_label(num_vms):<18s} "
+            f"{result.speedups[num_vms]:>14.3f} "
+            f"{result.worst_tails[num_vms]:>11.2f}"
+        )
+    lines.append(f"degradation 1 -> 12 VMs: {result.degradation():.3f}")
+    return "\n".join(lines)

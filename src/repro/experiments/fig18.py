@@ -1,0 +1,81 @@
+"""Fig. 18: sensitivity to NoC router delay.
+
+Jumanji's gmean batch speedup on random mixes as router delay varies
+from 1 to 3 cycles. Expected shape: D-NUCA's advantage grows with NoC
+latency (placing data nearby saves more), from ~9% at 1 cycle to ~15%
+at 3 cycles in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..config import SystemConfig
+from ..metrics.speedup import gmean, weighted_speedup
+from ..model.system import run_design
+from ..model.workload import make_default_workload
+from ..workloads.mixes import random_lc_mix
+from .common import num_epochs, num_mixes
+
+__all__ = ["Fig18Result", "run", "format_table"]
+
+ROUTER_DELAYS = (1, 2, 3)
+
+
+@dataclass
+class Fig18Result:
+    #: router delay -> gmean Jumanji speedup.
+    """Result container for this experiment."""
+    speedups: Dict[int, float]
+
+    def is_monotonic(self) -> bool:
+        """Whether speedup rises with router delay."""
+        delays = sorted(self.speedups)
+        values = [self.speedups[d] for d in delays]
+        return all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def run(
+    router_delays: Sequence[int] = ROUTER_DELAYS,
+    mixes: Optional[int] = None,
+    epochs: Optional[int] = None,
+    design: str = "Jumanji",
+) -> Fig18Result:
+    """Run the experiment; returns its result object."""
+    mixes = mixes if mixes is not None else num_mixes()
+    epochs = epochs if epochs is not None else num_epochs()
+    speedups: Dict[int, float] = {}
+    for delay in router_delays:
+        config = SystemConfig().with_router_delay(delay)
+        per_mix = []
+        for mix_seed in range(mixes):
+            lc_apps = list(random_lc_mix(mix_seed))
+            workload = make_default_workload(
+                lc_apps, mix_seed=mix_seed, load="high", config=config
+            )
+            static = run_design(
+                "Static", workload, num_epochs=epochs, seed=mix_seed
+            )
+            target = run_design(
+                design, workload, num_epochs=epochs, seed=mix_seed
+            )
+            per_mix.append(
+                weighted_speedup(
+                    target.batch_ipcs(), static.batch_ipcs()
+                )
+            )
+        speedups[delay] = gmean(per_mix)
+    return Fig18Result(speedups=speedups)
+
+
+def format_table(result: Fig18Result) -> str:
+    """Render the result as the paper-style text report."""
+    lines = [
+        "Fig. 18 — NoC sensitivity (Jumanji gmean speedup, mixed LC)",
+        f"{'router delay':>12s} {'speedup':>9s}",
+    ]
+    for delay in sorted(result.speedups):
+        lines.append(f"{delay:>12d} {result.speedups[delay]:>9.3f}")
+    lines.append(f"monotonic increase: {result.is_monotonic()}")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Reproduction report: collect ``results/`` into one summary.
+
+Benchmark runs drop one text report per figure/table into ``results/``.
+This module assembles them into a single summary document, prefixed
+with a checklist of which of the paper's artifacts have been
+regenerated — the reproduction's "artifact-evaluation" view.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ARTIFACTS", "ReportStatus", "collect", "write_summary"]
+
+#: Every artifact the reproduction regenerates: (results file stem,
+#: human title).
+ARTIFACTS: Tuple[Tuple[str, str], ...] = (
+    ("table1", "Table I — design comparison"),
+    ("table2", "Table II — system parameters"),
+    ("table3", "Table III — LC workload configuration"),
+    ("fig2", "Fig. 2 — representative data placements"),
+    ("fig4", "Fig. 4 — case study over time"),
+    ("fig5", "Fig. 5 — case-study end-to-end results"),
+    ("fig8", "Fig. 8 — tail latency vs. allocation"),
+    ("fig9", "Fig. 9 — controller sensitivity"),
+    ("fig11", "Fig. 11 — LLC port attack"),
+    ("fig12", "Fig. 12 — performance leakage"),
+    ("fig13", "Fig. 13 — main results"),
+    ("fig14", "Fig. 14 — vulnerability"),
+    ("fig15", "Fig. 15 — data-movement energy"),
+    ("fig16", "Fig. 16 — Jumanji vs Insecure vs Ideal Batch"),
+    ("fig17", "Fig. 17 — VM scaling"),
+    ("fig18", "Fig. 18 — NoC sensitivity"),
+    ("trading_negative_result", "Trade algorithm (negative result)"),
+    ("reconfig_interval", "Reconfiguration-interval plateau"),
+    ("ablation1_panic_boost", "Ablation — panic boost"),
+    ("ablation2_lc_proximity", "Ablation — LC proximity"),
+    ("ablation3_bank_granularity", "Ablation — bank granularity"),
+    ("ablation4_inner_placement", "Ablation — inner placement"),
+    ("ablation5_convex_hull", "Ablation — convex-hull curves"),
+)
+
+
+@dataclass
+class ReportStatus:
+    """Which artifacts have reports, and their contents."""
+
+    results_dir: pathlib.Path
+    present: Dict[str, str] = field(default_factory=dict)
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every paper figure/table has been regenerated."""
+        paper_artifacts = [
+            stem for stem, _ in ARTIFACTS
+            if stem.startswith(("fig", "table"))
+        ]
+        return all(s in self.present for s in paper_artifacts)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of all artifacts with reports."""
+        return len(self.present) / len(ARTIFACTS)
+
+
+def collect(results_dir) -> ReportStatus:
+    """Scan a ``results/`` directory for artifact reports."""
+    results_dir = pathlib.Path(results_dir)
+    status = ReportStatus(results_dir=results_dir)
+    for stem, _title in ARTIFACTS:
+        path = results_dir / f"{stem}.txt"
+        if path.is_file():
+            status.present[stem] = path.read_text()
+        else:
+            status.missing.append(stem)
+    return status
+
+
+def write_summary(
+    results_dir, output: Optional[pathlib.Path] = None
+) -> str:
+    """Assemble the summary document; optionally write it to disk.
+
+    Returns the summary text. ``output`` defaults to
+    ``<results_dir>/SUMMARY.md``.
+    """
+    status = collect(results_dir)
+    lines = [
+        "# Reproduction report",
+        "",
+        "Regenerated artifacts from "
+        "'Jumanji: The Case for Dynamic NUCA in the Datacenter' "
+        "(MICRO 2020).",
+        "",
+        f"Coverage: {len(status.present)}/{len(ARTIFACTS)} artifacts "
+        f"({status.coverage:.0%}); paper figures/tables "
+        f"{'complete' if status.complete else 'INCOMPLETE'}.",
+        "",
+        "## Checklist",
+        "",
+    ]
+    for stem, title in ARTIFACTS:
+        mark = "x" if stem in status.present else " "
+        lines.append(f"- [{mark}] {title}")
+    lines.append("")
+    for stem, title in ARTIFACTS:
+        if stem not in status.present:
+            continue
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(status.present[stem].rstrip("\n"))
+        lines.append("```")
+        lines.append("")
+    text = "\n".join(lines)
+    out_path = (
+        pathlib.Path(output)
+        if output is not None
+        else pathlib.Path(results_dir) / "SUMMARY.md"
+    )
+    out_path.write_text(text)
+    return text

@@ -1,0 +1,5 @@
+"""Main-memory substrate."""
+
+from .memory import MemoryController, MemorySystem
+
+__all__ = ["MemoryController", "MemorySystem"]

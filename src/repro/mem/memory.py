@@ -1,0 +1,93 @@
+"""Main-memory model: fixed-latency controllers with bandwidth partitioning.
+
+The paper's methodology (Sec. VII) models memory as four controllers at
+the chip corners with 120-cycle fixed latency and bandwidth partitioning
+"with fixed latency [28, 51]". We model each controller as a server pool
+whose effective per-request latency grows once a tenant exceeds its
+bandwidth share, which is the behaviour bandwidth partitioning exposes to
+software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..config import SystemConfig
+
+__all__ = ["MemoryController", "MemorySystem"]
+
+
+@dataclass
+class MemoryController:
+    """One memory controller with a bandwidth quota per tenant.
+
+    ``peak_requests_per_kcycle`` is the controller's service capacity;
+    tenants receive ``share`` fractions of it (default: equal shares).
+    :meth:`effective_latency` inflates the base latency by an M/M/1-style
+    utilisation factor so overload degrades gracefully rather than
+    cliff-edge, matching the fixed-latency-plus-partitioning abstraction.
+    """
+
+    tile: int
+    base_latency: int = 120
+    peak_requests_per_kcycle: float = 64.0
+    shares: Dict[object, float] = field(default_factory=dict)
+
+    def set_share(self, tenant: object, share: float) -> None:
+        """Assign a tenant's bandwidth share in (0, 1]."""
+        if share <= 0 or share > 1:
+            raise ValueError("share must be in (0, 1]")
+        self.shares[tenant] = share
+
+    def effective_latency(
+        self, tenant: object, demand_per_kcycle: float
+    ) -> float:
+        """Latency seen by ``tenant`` issuing ``demand`` requests/kcycle."""
+        if demand_per_kcycle < 0:
+            raise ValueError("demand must be non-negative")
+        share = self.shares.get(tenant, 1.0 / max(1, len(self.shares) or 1))
+        capacity = self.peak_requests_per_kcycle * share
+        if capacity <= 0:
+            raise ValueError("tenant has zero capacity")
+        utilization = min(demand_per_kcycle / capacity, 0.95)
+        return self.base_latency / (1.0 - utilization)
+
+
+class MemorySystem:
+    """The chip's memory controllers (at mesh corners, per Table II)."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        last = config.num_cores - 1
+        corner_tiles = (
+            0,
+            config.mesh_cols - 1,
+            last - (config.mesh_cols - 1),
+            last,
+        )[: config.num_mem_ctrls]
+        self.controllers = [
+            MemoryController(tile=t, base_latency=config.mem_latency)
+            for t in corner_tiles
+        ]
+
+    def controller_for(self, tile: int) -> MemoryController:
+        """Controller nearest to ``tile`` (line-interleaving averages out
+        in steady state, so nearest-controller is the model's choice)."""
+        col, row = self.config.tile_coords(tile)
+
+        def dist(ctrl: MemoryController) -> int:
+            c, r = self.config.tile_coords(ctrl.tile)
+            return abs(c - col) + abs(r - row)
+
+        return min(self.controllers, key=dist)
+
+    def set_equal_shares(self, tenants) -> None:
+        """Give every tenant an equal bandwidth share at each controller."""
+        tenants = list(tenants)
+        if not tenants:
+            return
+        share = 1.0 / len(tenants)
+        for ctrl in self.controllers:
+            for tenant in tenants:
+                ctrl.set_share(tenant, share)

@@ -1,0 +1,14 @@
+"""Evaluation metrics: security vulnerability, speedup, percentiles."""
+
+from ..sim.queueing import percentile
+from .security import bank_sharing_matrix, potential_attackers_per_access
+from .speedup import gmean, normalize, weighted_speedup
+
+__all__ = [
+    "potential_attackers_per_access",
+    "bank_sharing_matrix",
+    "weighted_speedup",
+    "gmean",
+    "normalize",
+    "percentile",
+]

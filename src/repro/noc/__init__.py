@@ -1,0 +1,13 @@
+"""On-chip network substrate: mesh topology and data-movement energy."""
+
+from .energy import EnergyBreakdown, EnergyModel
+from .mesh import MeshNoc
+from .traffic import LinkLoad, NocTrafficModel
+
+__all__ = [
+    "MeshNoc",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "NocTrafficModel",
+    "LinkLoad",
+]

@@ -1,0 +1,86 @@
+"""Dynamic data-movement energy model (paper Fig. 15).
+
+The paper splits data-movement energy between L1, L2, LLC banks, the
+on-chip network, and memory, "using numbers from prior work [79]"
+(Jenga, ISCA 2017). We use per-event energies of the same magnitude and
+relative ordering as that line of work (45 nm-class numbers, pJ):
+
+* L1 access ~ tens of pJ, L2 access a few x L1,
+* LLC bank access ~ a few hundred pJ,
+* NoC: per-hop energy for a 64 B line transfer over 128-bit links,
+* DRAM access ~ tens of nJ, dwarfing everything else per event.
+
+Absolute joules are not the reproduction target — the *relative*
+reductions (Jumanji/Jigsaw ~ -13% vs Static; Adaptive/VM-Part slightly
+positive) come from fewer LLC misses and fewer NoC hops, which the model
+captures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-component dynamic energy, in picojoules."""
+
+    l1: float = 0.0
+    l2: float = 0.0
+    llc: float = 0.0
+    noc: float = 0.0
+    mem: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all components, in picojoules."""
+        return self.l1 + self.l2 + self.llc + self.noc + self.mem
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.l1 + other.l1,
+            self.l2 + other.l2,
+            self.llc + other.llc,
+            self.noc + other.noc,
+            self.mem + other.mem,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """This breakdown with every component multiplied by ``factor``."""
+        return EnergyBreakdown(
+            self.l1 * factor,
+            self.l2 * factor,
+            self.llc * factor,
+            self.noc * factor,
+            self.mem * factor,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies (pJ) for the data-movement components."""
+
+    l1_access_pj: float = 30.0
+    l2_access_pj: float = 80.0
+    llc_bank_access_pj: float = 300.0
+    noc_hop_pj: float = 60.0
+    mem_access_pj: float = 15000.0
+
+    def access_energy(
+        self,
+        l1_accesses: float,
+        l2_accesses: float,
+        llc_accesses: float,
+        noc_hops: float,
+        mem_accesses: float,
+    ) -> EnergyBreakdown:
+        """Energy of a batch of events, by component."""
+        return EnergyBreakdown(
+            l1=l1_accesses * self.l1_access_pj,
+            l2=l2_accesses * self.l2_access_pj,
+            llc=llc_accesses * self.llc_bank_access_pj,
+            noc=noc_hops * self.noc_hop_pj,
+            mem=mem_accesses * self.mem_access_pj,
+        )

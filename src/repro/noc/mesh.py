@@ -1,0 +1,122 @@
+"""Mesh network-on-chip with X-Y routing.
+
+Models the 5x4 mesh of the paper's Table II: pipelined routers
+(``router_delay`` cycles each), single-cycle links, 128-bit flits. The
+NoC enters the evaluation through per-hop latency between a core's tile
+and the LLC bank (or memory controller) it accesses — the quantity
+D-NUCA minimises by placing data nearby.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..config import SystemConfig
+
+__all__ = ["MeshNoc"]
+
+
+class MeshNoc:
+    """X-Y-routed mesh over the chip's tiles.
+
+    Tiles are numbered row-major: tile ``t`` sits at column ``t % cols``,
+    row ``t // cols``. Memory controllers are attached at the four corner
+    tiles (paper Table II).
+    """
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.cols = config.mesh_cols
+        self.rows = config.mesh_rows
+        self.router_delay = config.router_delay
+        self.link_delay = config.link_delay
+        self._mem_tiles = self._corner_tiles()
+        # Precompute tile-to-tile latency for speed in the inner loops.
+        n = config.num_cores
+        self._latency = [
+            [self._compute_latency(a, b) for b in range(n)]
+            for a in range(n)
+        ]
+
+    def _corner_tiles(self) -> Tuple[int, ...]:
+        """Tiles hosting the memory controllers (the four chip corners)."""
+        last = self.cols * self.rows - 1
+        corners = (
+            0,
+            self.cols - 1,
+            last - (self.cols - 1),
+            last,
+        )
+        return corners[: self.config.num_mem_ctrls]
+
+    @property
+    def mem_tiles(self) -> Tuple[int, ...]:
+        """Tiles hosting memory controllers."""
+        return self._mem_tiles
+
+    def coords(self, tile: int) -> Tuple[int, int]:
+        """(col, row) of a tile."""
+        return self.config.tile_coords(tile)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two tiles (X-Y routing)."""
+        (sc, sr) = self.coords(src)
+        (dc, dr) = self.coords(dst)
+        return abs(sc - dc) + abs(sr - dr)
+
+    def _compute_latency(self, src: int, dst: int) -> int:
+        """One-way latency in cycles between two tiles.
+
+        Each hop crosses one link and one router; the source's local
+        router injection is counted once even for zero-hop (same-tile)
+        transfers, matching the pipelined-router model of prior D-NUCA
+        evaluations.
+        """
+        h = self.hops(src, dst)
+        if h == 0:
+            return 0
+        return h * (self.router_delay + self.link_delay) + self.router_delay
+
+    def latency(self, src: int, dst: int) -> int:
+        """One-way NoC latency between tiles (precomputed)."""
+        return self._latency[src][dst]
+
+    def round_trip(self, src: int, dst: int) -> int:
+        """Round-trip NoC latency (request there, data back)."""
+        return 2 * self._latency[src][dst]
+
+    def nearest_mem_tile(self, tile: int) -> int:
+        """Memory-controller tile closest to ``tile``."""
+        return min(self._mem_tiles, key=lambda m: self.hops(tile, m))
+
+    def mem_latency_from(self, tile: int) -> int:
+        """Round-trip NoC latency from a tile to its nearest controller."""
+        return self.round_trip(tile, self.nearest_mem_tile(tile))
+
+    def banks_by_distance(self, tile: int) -> List[int]:
+        """All banks sorted by distance from ``tile`` (ties by bank id).
+
+        This ordering drives LatCritPlacer's greedy "closest banks first"
+        allocation and JumanjiPlacer's round-robin bank assignment.
+        """
+        n = self.config.num_banks
+        return sorted(range(n), key=lambda b: (self.hops(tile, b), b))
+
+    def centroid_tile(self, tiles: Sequence[int]) -> int:
+        """Tile minimising total hops to a set of tiles.
+
+        Used to pick a representative location for a VM that spans
+        several cores.
+        """
+        if not tiles:
+            raise ValueError("need at least one tile")
+        n = self.config.num_banks
+        return min(
+            range(n), key=lambda c: (sum(self.hops(c, t) for t in tiles), c)
+        )
+
+    def average_distance(self, tile: int, banks: Sequence[int]) -> float:
+        """Mean hop distance from a tile to a set of banks."""
+        if not banks:
+            raise ValueError("need at least one bank")
+        return sum(self.hops(tile, b) for b in banks) / len(banks)

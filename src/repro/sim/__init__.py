@@ -1,0 +1,34 @@
+"""Event-driven and trace-driven simulation layers."""
+
+from .attack import (
+    LeakageResult,
+    PortAttackConfig,
+    PortAttackSample,
+    attack_signal_strength,
+    run_leakage_experiment,
+    run_port_attack,
+)
+from .engine import EventQueue
+from .epochsim import ClosedLoopSimulation, EpochStats, TraceApp
+from .queueing import LcRequestSimulator, QueueSimResult, percentile
+from .tracesim import CoreContext, PrivateCache, TraceSimulator, TraceStats
+
+__all__ = [
+    "EventQueue",
+    "ClosedLoopSimulation",
+    "TraceApp",
+    "EpochStats",
+    "LcRequestSimulator",
+    "QueueSimResult",
+    "percentile",
+    "TraceSimulator",
+    "TraceStats",
+    "CoreContext",
+    "PrivateCache",
+    "PortAttackConfig",
+    "PortAttackSample",
+    "run_port_attack",
+    "attack_signal_strength",
+    "LeakageResult",
+    "run_leakage_experiment",
+]

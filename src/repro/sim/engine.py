@@ -1,0 +1,65 @@
+"""A minimal discrete-event simulation engine.
+
+Events are ``(time, seq, callback)`` entries in a heap; ``seq`` breaks
+ties deterministically in schedule order. The engine underlies the
+queueing and attack simulations; the trace-driven cache simulator walks
+accesses directly and does not need it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Deterministic event loop keyed by simulated time (cycles)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past ({time} < {self._now})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], None]
+    ) -> None:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or ``until`` is reached.
+
+        Returns the simulation time when the loop stopped.
+        """
+        while self._heap:
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = time
+            callback()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)

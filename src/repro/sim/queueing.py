@@ -1,0 +1,197 @@
+"""Request queueing simulation for latency-critical applications.
+
+Each LC application is modelled as a single-server FCFS queue (its core):
+requests arrive with exponential interarrival times at a given QPS, as in
+TailBench's integrated client (paper Sec. VII, citing [57, 58]), and are
+served with per-request service times drawn around the mean set by the
+current LLC allocation and placement.
+
+This is the mechanism behind the paper's Fig. 8: when the arrival rate
+exceeds the service rate at a small allocation, queueing delay grows
+without bound and tail latency explodes; slightly more (or closer) cache
+restores stability. End-to-end latency includes queueing delay, which
+the feedback controller observes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import CORE_FREQ_HZ
+
+__all__ = ["QueueSimResult", "LcRequestSimulator", "percentile"]
+
+
+def percentile(latencies: Sequence[float], pct: float) -> float:
+    """Percentile with the nearest-rank method the OS runtime uses."""
+    if not len(latencies):
+        raise ValueError("no latencies recorded")
+    if not 0 < pct <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    data = np.sort(np.asarray(latencies, dtype=float))
+    rank = max(0, int(math.ceil(pct / 100.0 * data.size)) - 1)
+    return float(data[rank])
+
+
+@dataclass
+class QueueSimResult:
+    """Outcome of simulating one epoch of requests."""
+
+    latencies_cycles: List[float]
+    completed: int
+    mean_service_cycles: float
+    utilization: float
+    final_queue_depth: int
+
+    def tail_cycles(self, pct: float = 95.0) -> float:
+        """Percentile of the epoch's latencies, in cycles."""
+        return percentile(self.latencies_cycles, pct)
+
+    def tail_seconds(self, pct: float = 95.0) -> float:
+        """Percentile of the epoch's latencies, in seconds."""
+        return self.tail_cycles(pct) / CORE_FREQ_HZ
+
+    def mean_cycles(self) -> float:
+        """Mean completion latency of the epoch."""
+        if not self.latencies_cycles:
+            raise ValueError("no latencies recorded")
+        return float(np.mean(self.latencies_cycles))
+
+
+class LcRequestSimulator:
+    """Simulates one LC app's request stream across epochs.
+
+    The queue persists across epochs (carried backlog), so a starved
+    allocation in one 100 ms window inflates the next window's latencies —
+    reproducing Fig. 4a's "latency grows increasingly large over time"
+    behaviour under Jigsaw.
+
+    ``service_cv`` controls per-request heterogeneity via a gamma
+    multiplier with unit mean.
+    """
+
+    def __init__(
+        self,
+        qps: float,
+        service_cv: float = 0.4,
+        seed: int = 0,
+        max_backlog: int = 100_000,
+    ):
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if service_cv < 0:
+            raise ValueError("service_cv must be non-negative")
+        self.qps = qps
+        self.service_cv = service_cv
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(seed ^ 0xBADC0FFE)
+        self.max_backlog = max_backlog
+        # Server state, in cycles.
+        self._server_free_at = 0.0
+        self._next_arrival = self._draw_interarrival()
+        self._now = 0.0
+        # Requests that have arrived but not completed: arrival times.
+        self._backlog: List[float] = []
+
+    @property
+    def interarrival_mean_cycles(self) -> float:
+        """Mean request interarrival time in cycles."""
+        return CORE_FREQ_HZ / self.qps
+
+    def _draw_interarrival(self) -> float:
+        return self._rng.expovariate(1.0) * CORE_FREQ_HZ / self.qps
+
+    def _draw_service(self, mean_cycles: float) -> float:
+        if self.service_cv == 0:
+            return mean_cycles
+        cv2 = self.service_cv**2
+        shape = 1.0 / cv2
+        scale = mean_cycles * cv2
+        return float(self._np_rng.gamma(shape, scale))
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting or in service."""
+        return len(self._backlog)
+
+    def run_epoch(
+        self,
+        duration_cycles: float,
+        mean_service_cycles: float,
+        qps: Optional[float] = None,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> QueueSimResult:
+        """Advance the request stream by ``duration_cycles``.
+
+        ``mean_service_cycles`` is the allocation-dependent mean service
+        time for this epoch. Completions within the epoch produce
+        latencies (arrival -> completion, i.e. including queueing);
+        ``on_complete`` is invoked per completion in completion order so
+        a feedback controller can react mid-epoch.
+        """
+        if duration_cycles <= 0:
+            raise ValueError("duration must be positive")
+        if mean_service_cycles <= 0:
+            raise ValueError("service time must be positive")
+        if qps is not None:
+            if qps <= 0:
+                raise ValueError("qps must be positive")
+            self.qps = qps
+        epoch_end = self._now + duration_cycles
+        latencies: List[float] = []
+
+        # Generate arrivals up to epoch end.
+        while self._next_arrival <= epoch_end:
+            if len(self._backlog) < self.max_backlog:
+                self._backlog.append(self._next_arrival)
+            self._next_arrival += self._draw_interarrival()
+
+        # Serve FCFS. Completions beyond the epoch boundary stay queued
+        # (service is not preempted mid-epoch; the sub-request error this
+        # introduces is far below the 100 ms epoch length).
+        remaining: List[float] = []
+        for arrival in self._backlog:
+            start = max(arrival, self._server_free_at)
+            if start >= epoch_end:
+                remaining.append(arrival)
+                continue
+            service = self._draw_service(mean_service_cycles)
+            completion = start + service
+            if completion > epoch_end:
+                remaining.append(arrival)
+                # Server stays busy with this request into the next epoch.
+                self._server_free_at = completion
+                continue
+            self._server_free_at = completion
+            latency = completion - arrival
+            latencies.append(latency)
+            if on_complete is not None:
+                on_complete(latency)
+        self._backlog = remaining
+        self._now = epoch_end
+
+        utilization = (
+            self.qps * mean_service_cycles / CORE_FREQ_HZ
+        )
+        return QueueSimResult(
+            latencies_cycles=latencies,
+            completed=len(latencies),
+            mean_service_cycles=mean_service_cycles,
+            utilization=utilization,
+            final_queue_depth=len(self._backlog),
+        )
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Restart the stream (optionally reseeded)."""
+        if seed is not None:
+            self._rng = random.Random(seed)
+            self._np_rng = np.random.default_rng(seed ^ 0xBADC0FFE)
+        self._server_free_at = 0.0
+        self._now = 0.0
+        self._backlog = []
+        self._next_arrival = self._draw_interarrival()

@@ -1,0 +1,317 @@
+"""Trace-driven simulation of the full cache hierarchy.
+
+Drives per-core L1/L2 private caches, the VTB, the banked LLC, the mesh
+NoC, and memory with synthetic address traces. This is the high-fidelity
+layer: it exercises the same code paths a ZSim-style simulator would
+(lookup L1 -> L2 -> hash through the placement descriptor -> bank access
+with port arbitration -> memory on miss) and is used to validate the
+analytic layer and to run the microarchitectural experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cache.bank import CacheBank
+from ..config import LINE_BYTES, SystemConfig
+from ..noc.mesh import MeshNoc
+from ..vtb.vtb import PlacementDescriptor, Vtb
+from ..workloads.traces import AddressTrace
+
+__all__ = ["PrivateCache", "CoreContext", "TraceSimulator", "TraceStats"]
+
+
+class PrivateCache:
+    """A private (L1 or L2) set-associative cache with LRU replacement.
+
+    Private caches need no partitioning or port model; they exist so the
+    LLC sees a realistically filtered access stream.
+    """
+
+    def __init__(self, size_kb: int, ways: int, latency: int):
+        if size_kb < 1 or ways < 1:
+            raise ValueError("cache must have positive size and ways")
+        num_lines = size_kb * 1024 // LINE_BYTES
+        if num_lines % ways != 0:
+            raise ValueError("size must be divisible by ways")
+        self.num_sets = num_lines // ways
+        self.ways = ways
+        self.latency = latency
+        # Per-set LRU order, most recent first.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line_addr: int) -> bool:
+        """Access a line; returns True on hit. Fills on miss."""
+        s = self._sets[line_addr % self.num_sets]
+        try:
+            s.remove(line_addr)
+            s.insert(0, line_addr)
+            self.hits += 1
+            return True
+        except ValueError:
+            self.misses += 1
+            if len(s) >= self.ways:
+                s.pop()
+            s.insert(0, line_addr)
+            return False
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if present (inclusive-LLC back-invalidation)."""
+        s = self._sets[line_addr % self.num_sets]
+        try:
+            s.remove(line_addr)
+            return True
+        except ValueError:
+            return False
+
+    def flush(self) -> None:
+        """Drop all lines."""
+        for s in self._sets:
+            s.clear()
+
+
+@dataclass
+class CoreContext:
+    """One simulated core: its private caches, VC id, and partition.
+
+    ``page_table`` optionally maps the app's pages to *multiple* VCs
+    (Whirlpool-style data classification); when absent, all the app's
+    data lives in the single ``vc_id``.
+    """
+
+    core_id: int
+    trace: AddressTrace
+    vc_id: int
+    partition: object
+    l1: PrivateCache
+    l2: PrivateCache
+    page_table: object = None
+    instructions_per_access: float = 2.0
+    accesses: int = 0
+    llc_accesses: int = 0
+    llc_hits: int = 0
+    total_latency: int = 0
+    total_noc_hops: int = 0
+    mem_accesses: int = 0
+
+
+@dataclass
+class TraceStats:
+    """Aggregated per-core results of a trace-driven run."""
+
+    accesses: int
+    llc_accesses: int
+    llc_hits: int
+    llc_misses: int
+    mem_accesses: int
+    avg_latency: float
+    avg_noc_hops: float
+
+    @property
+    def llc_miss_rate(self) -> float:
+        """LLC misses over LLC accesses (0 when no accesses)."""
+        if self.llc_accesses == 0:
+            return 0.0
+        return self.llc_misses / self.llc_accesses
+
+
+class TraceSimulator:
+    """Drives cores round-robin through the full hierarchy.
+
+    The simulator owns one :class:`CacheBank` per tile, a shared
+    :class:`Vtb` (descriptor updates apply system-wide, as software
+    rewrites every core's VTB identically), and the mesh NoC for
+    latency/hop accounting. Time advances one "slot" per core access,
+    which serialises bank-port contention realistically enough for
+    validation purposes (the dedicated attack simulator models ports with
+    full timing).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        policy: str = "drrip",
+        bank_sets: Optional[int] = None,
+    ):
+        self.config = config if config is not None else SystemConfig()
+        self.noc = MeshNoc(self.config)
+        sets = bank_sets if bank_sets is not None else self.config.bank_sets
+        self.banks: List[CacheBank] = [
+            CacheBank(
+                num_sets=sets,
+                num_ways=self.config.llc_bank_ways,
+                latency=self.config.llc_bank_latency,
+                num_ports=self.config.llc_bank_ports,
+                policy=policy,
+            )
+            for _ in range(self.config.num_banks)
+        ]
+        self.vtb = Vtb()
+        self.cores: Dict[int, CoreContext] = {}
+        self._clock = 0
+        #: Optional hook invoked as ``hook(core_id, line_addr)`` on every
+        #: LLC access — where UMON hardware taps the stream.
+        self.llc_access_hook = None
+
+    # -- setup -----------------------------------------------------------------
+
+    def add_core(
+        self,
+        core_id: int,
+        trace: AddressTrace,
+        vc_id: int,
+        descriptor: PlacementDescriptor,
+        partition: object = None,
+        page_table: object = None,
+    ) -> CoreContext:
+        """Attach a trace to a core with a VC placement.
+
+        ``page_table`` (a :class:`~repro.vtb.vtb.PageTable`) routes the
+        app's pages to per-page VCs; additional VC descriptors must be
+        installed with :meth:`install_vc`.
+        """
+        if not 0 <= core_id < self.config.num_cores:
+            raise ValueError(f"core {core_id} out of range")
+        if core_id in self.cores:
+            raise ValueError(f"core {core_id} already configured")
+        self.vtb.install(vc_id, descriptor)
+        ctx = CoreContext(
+            core_id=core_id,
+            trace=trace,
+            vc_id=vc_id,
+            partition=partition if partition is not None else vc_id,
+            page_table=page_table,
+            l1=PrivateCache(
+                self.config.l1_size_kb,
+                self.config.l1_ways,
+                self.config.l1_latency,
+            ),
+            l2=PrivateCache(
+                self.config.l2_size_kb,
+                self.config.l2_ways,
+                self.config.l2_latency,
+            ),
+        )
+        self.cores[core_id] = ctx
+        return ctx
+
+    def set_partition_quota(
+        self, bank: int, partition: object, ways: int
+    ) -> None:
+        """Program CAT-style quotas on one bank."""
+        self.banks[bank].partitioner.set_quota(partition, ways)
+
+    def install_vc(
+        self, vc_id: int, descriptor: PlacementDescriptor
+    ) -> None:
+        """Install an extra VC descriptor (per-page classification)."""
+        self.vtb.install(vc_id, descriptor)
+
+    def update_placement(
+        self, vc_id: int, descriptor: PlacementDescriptor
+    ) -> int:
+        """Install a new descriptor; performs the coherence walk.
+
+        Returns the number of LLC lines invalidated across the banks that
+        lost descriptor entries (paper Sec. IV-A "Coherence").
+        """
+        partition = None
+        for ctx in self.cores.values():
+            if ctx.vc_id == vc_id:
+                partition = ctx.partition
+                break
+        dirty_banks = self.vtb.update(vc_id, descriptor)
+        invalidated = 0
+        for b in dirty_banks:
+            invalidated += self.banks[b].invalidate_partition(partition)
+        return invalidated
+
+    # -- execution -------------------------------------------------------------
+
+    def _access_one(self, ctx: CoreContext) -> None:
+        line = ctx.trace.next_line()
+        ctx.accesses += 1
+        latency = self.config.l1_latency
+        if not ctx.l1.access(line):
+            latency += self.config.l2_latency
+            if not ctx.l2.access(line):
+                if self.llc_access_hook is not None:
+                    self.llc_access_hook(ctx.core_id, line)
+                vc_id = ctx.vc_id
+                if ctx.page_table is not None:
+                    try:
+                        vc_id = ctx.page_table.vc_of_address(line << 6)
+                    except KeyError:
+                        pass  # unmapped pages use the default VC
+                bank_id = self.vtb.bank_for(vc_id, line)
+                bank = self.banks[bank_id]
+                hops = self.noc.hops(ctx.core_id, bank_id)
+                noc_rtt = self.noc.round_trip(ctx.core_id, bank_id)
+                result = bank.access(
+                    line, partition=ctx.partition, now=self._clock
+                )
+                ctx.llc_accesses += 1
+                ctx.total_noc_hops += 2 * hops
+                # Port queueing is not charged here: cores are closed
+                # loops (one outstanding miss), so per-core issue rates
+                # cannot oversubscribe a port the way this simulator's
+                # simplified one-slot-per-access clock would suggest.
+                # The dedicated event-driven model in repro.sim.attack
+                # owns port-contention timing.
+                latency += noc_rtt + bank.latency
+                if result.hit:
+                    ctx.llc_hits += 1
+                else:
+                    ctx.mem_accesses += 1
+                    mem_tile = self.noc.nearest_mem_tile(bank_id)
+                    latency += (
+                        self.config.mem_latency
+                        + self.noc.round_trip(bank_id, mem_tile)
+                    )
+                    ctx.total_noc_hops += 2 * self.noc.hops(
+                        bank_id, mem_tile
+                    )
+        ctx.total_latency += latency
+        self._clock += 1
+
+    def run(self, accesses_per_core: int) -> Dict[int, TraceStats]:
+        """Interleave ``accesses_per_core`` accesses from every core."""
+        if accesses_per_core < 1:
+            raise ValueError("need at least one access per core")
+        order = sorted(self.cores)
+        for _ in range(accesses_per_core):
+            for core_id in order:
+                self._access_one(self.cores[core_id])
+        return self.stats()
+
+    def stats(self) -> Dict[int, TraceStats]:
+        """Per-core statistics so far."""
+        out = {}
+        for core_id, ctx in self.cores.items():
+            misses = ctx.llc_accesses - ctx.llc_hits
+            out[core_id] = TraceStats(
+                accesses=ctx.accesses,
+                llc_accesses=ctx.llc_accesses,
+                llc_hits=ctx.llc_hits,
+                llc_misses=misses,
+                mem_accesses=ctx.mem_accesses,
+                avg_latency=(
+                    ctx.total_latency / ctx.accesses if ctx.accesses else 0.0
+                ),
+                avg_noc_hops=(
+                    ctx.total_noc_hops / ctx.llc_accesses
+                    if ctx.llc_accesses
+                    else 0.0
+                ),
+            )
+        return out
+
+    def bank_residents(self) -> Dict[int, set]:
+        """Partitions resident in each bank (for security inspection)."""
+        return {
+            b: bank.resident_partitions()
+            for b, bank in enumerate(self.banks)
+        }

@@ -1,0 +1,29 @@
+"""Single-lookup D-NUCA placement hardware: VCs, descriptors, VTB."""
+
+from .classification import (
+    build_classified_page_table,
+    classify_pages,
+    profile_llc_page_accesses,
+    profile_page_accesses,
+)
+from .vtb import (
+    DESCRIPTOR_ENTRIES,
+    PageTable,
+    PlacementDescriptor,
+    VirtualCache,
+    Vtb,
+    descriptor_from_allocation,
+)
+
+__all__ = [
+    "DESCRIPTOR_ENTRIES",
+    "PageTable",
+    "PlacementDescriptor",
+    "VirtualCache",
+    "Vtb",
+    "descriptor_from_allocation",
+    "profile_page_accesses",
+    "profile_llc_page_accesses",
+    "classify_pages",
+    "build_classified_page_table",
+]

@@ -1,0 +1,50 @@
+"""Workload models: batch profiles, LC server models, mixes, traces."""
+
+from .mixes import (
+    base_app,
+    build_vm_configuration,
+    build_vms,
+    corner_core_layout,
+    instance_name,
+    random_batch_mix,
+    random_lc_mix,
+)
+from .spec import BatchAppProfile, SPEC_PROFILES, get_profile, profile_names
+from .tailbench import (
+    LC_PROFILES,
+    LatencyCriticalProfile,
+    REFERENCE_ALLOC_MB,
+    get_lc_profile,
+    lc_profile_names,
+)
+from .traces import (
+    AddressTrace,
+    MixedTrace,
+    StreamingTrace,
+    WorkingSetTrace,
+    ZipfTrace,
+)
+
+__all__ = [
+    "BatchAppProfile",
+    "SPEC_PROFILES",
+    "get_profile",
+    "profile_names",
+    "LatencyCriticalProfile",
+    "LC_PROFILES",
+    "REFERENCE_ALLOC_MB",
+    "get_lc_profile",
+    "lc_profile_names",
+    "AddressTrace",
+    "StreamingTrace",
+    "WorkingSetTrace",
+    "ZipfTrace",
+    "MixedTrace",
+    "random_batch_mix",
+    "random_lc_mix",
+    "build_vms",
+    "build_vm_configuration",
+    "corner_core_layout",
+    "instance_name",
+    "base_app",
+]

@@ -1,0 +1,258 @@
+"""TailBench-like latency-critical application models.
+
+The paper's latency-critical (LC) applications are masstree, xapian,
+img-dnn, silo, and moses from TailBench, driven by a built-in client with
+exponentially distributed interarrival times (Sec. VII). The binaries are
+unavailable, so each app is replaced by a server model whose per-request
+service time is derived from the same microarchitectural quantities the
+real apps expose to the LLC:
+
+    service_cycles(alloc) = base_cycles
+                          + accesses_per_query * (bank_latency + noc_rtt)
+                          + misses_per_query(alloc_mb) * miss_penalty
+
+``misses_per_query`` follows a per-app analytic miss curve, so a bigger
+or closer LLC allocation shortens service time; once the offered load
+exceeds the resulting service rate, queueing makes tail latency explode —
+exactly the mechanism behind the paper's Fig. 8.
+
+Calibration: the paper defines high load as 50% utilisation and low load
+as 10% (Table III QPS). Each profile's cycle budget is calibrated so
+that, at the *reference allocation* (four LLC ways under S-NUCA way-
+partitioning, i.e. 2.5 MB in the 20-bank system — the paper's deadline
+condition), utilisation at high-load QPS is 50%.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..cache.misscurve import MissCurve
+from ..config import CORE_FREQ_HZ, QPS_TABLE, QpsConfig
+
+__all__ = [
+    "LatencyCriticalProfile",
+    "LC_PROFILES",
+    "get_lc_profile",
+    "lc_profile_names",
+    "REFERENCE_ALLOC_MB",
+]
+
+#: The paper's deadline reference point: 4 ways of a 32-way, 20 MB LLC.
+REFERENCE_ALLOC_MB = 2.5
+
+#: Server utilisation at the reference allocation under high-load QPS
+#: (see ``reference_service_cycles``). TailBench's peak-throughput
+#: calibration runs with the machine to itself; at the constrained
+#: 4-way reference the same QPS lands at ~80% utilisation, on the
+#: rising flank of the queueing curve (cf. the paper's Fig. 8, where the
+#: deadline condition sits just left of the tail-latency knee).
+REFERENCE_UTILIZATION = 0.75
+
+#: Effective penalty per LLC miss in cycles. Latency-critical server
+#: code is dominated by dependent pointer chases (trees, hash tables,
+#: inverted indexes): misses do not overlap, and each logical lookup
+#: chains several dependent misses plus TLB refills, so the effective
+#: per-miss stall is several times the raw memory latency — unlike the
+#: batch model, whose SPEC-like loops overlap misses (MLP deflation).
+MISS_PENALTY_CYCLES = 450.0
+
+#: Latency-critical apps keep only a modest fraction of their service
+#: time in LLC-miss stalls: TailBench request processing is dominated by
+#: instruction footprint and on-chip data structures, so their absolute
+#: miss rates are far below SPEC's. This is why a data-movement-only
+#: placer (Jigsaw) deprioritises them — and why doing so is catastrophic
+#: at 80% utilisation.
+
+#: LLC bank access latency used during calibration (Table II).
+BANK_LATENCY_CYCLES = 13.0
+
+#: Average round-trip NoC latency assumed during calibration (S-NUCA
+#: striping across a 5x4 mesh with 2-cycle routers, from a central tile).
+CALIBRATION_NOC_RTT = 20.0
+
+
+@dataclass(frozen=True)
+class LatencyCriticalProfile:
+    """An analytic latency-critical application model.
+
+    ``mem_frac`` and ``llc_frac`` give the fractions of the reference
+    service time spent in memory stalls and LLC-access stalls; the
+    remainder is core-bound compute. ``shape``/``knee_mb`` parameterise
+    the per-query miss curve, and ``service_cv`` the coefficient of
+    variation of per-request service time (request heterogeneity).
+    """
+
+    name: str
+    qps: QpsConfig
+    mem_frac: float
+    llc_frac: float
+    shape: str
+    knee_mb: float
+    floor: float
+    service_cv: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mem_frac < 1 or not 0 < self.llc_frac < 1:
+            raise ValueError("stall fractions must be in (0, 1)")
+        if self.mem_frac + self.llc_frac >= 1:
+            raise ValueError("stall fractions must leave compute time")
+        if self.shape not in ("friendly", "cliff"):
+            raise ValueError(f"unknown LC miss-curve shape {self.shape!r}")
+        if not 0 <= self.floor < 1:
+            raise ValueError("floor must be in [0, 1)")
+
+    # -- calibration -----------------------------------------------------------
+
+    @property
+    def reference_service_cycles(self) -> float:
+        """Mean service time at the reference allocation.
+
+        TailBench calibrates load against *peak* throughput, measured
+        with the machine to itself (ample LLC, no co-runners). At the
+        4-way way-partitioned reference the app runs slower than at that
+        peak, so "high load" (50% of peak QPS) corresponds to a
+        utilisation of :data:`REFERENCE_UTILIZATION` at the reference
+        allocation — on the rising flank of the queueing curve, which is
+        where the paper's Fig. 8 places the deadline condition.
+        """
+        return REFERENCE_UTILIZATION * CORE_FREQ_HZ / self.qps.high_qps
+
+    def _decay(self, size_mb: float) -> float:
+        """Normalised miss-curve decay in (floor, 1]."""
+        if self.shape == "friendly":
+            raw = math.exp(-size_mb / self.knee_mb)
+        else:  # cliff
+            steepness = 4.0 / max(self.knee_mb * 0.3, 1e-6)
+            raw = 1.0 / (
+                1.0 + math.exp(steepness * (size_mb - self.knee_mb))
+            )
+            raw /= 1.0 / (1.0 + math.exp(-steepness * self.knee_mb))
+        return self.floor + (1.0 - self.floor) * min(raw, 1.0)
+
+    @property
+    def misses_per_query_ref(self) -> float:
+        """Misses per query at the reference allocation."""
+        return (
+            self.mem_frac
+            * self.reference_service_cycles
+            / MISS_PENALTY_CYCLES
+        )
+
+    @property
+    def accesses_per_query(self) -> float:
+        """LLC accesses per query (constant across allocations)."""
+        return (
+            self.llc_frac
+            * self.reference_service_cycles
+            / (BANK_LATENCY_CYCLES + CALIBRATION_NOC_RTT)
+        )
+
+    @property
+    def base_cycles(self) -> float:
+        """Allocation-independent compute cycles per query."""
+        return self.reference_service_cycles * (
+            1.0 - self.mem_frac - self.llc_frac
+        )
+
+    # -- the service-time model -------------------------------------------------
+
+    def misses_per_query(self, alloc_mb: float) -> float:
+        """Per-query LLC misses at an ``alloc_mb`` allocation."""
+        if alloc_mb < 0:
+            raise ValueError("allocation must be non-negative")
+        ref = self._decay(REFERENCE_ALLOC_MB)
+        return self.misses_per_query_ref * self._decay(alloc_mb) / ref
+
+    def mean_service_cycles(
+        self, alloc_mb: float, noc_rtt: float = CALIBRATION_NOC_RTT
+    ) -> float:
+        """Mean per-request service time at an allocation and placement.
+
+        ``noc_rtt`` is the average round-trip NoC latency from the app's
+        core to its allocated banks — the quantity D-NUCA shrinks.
+        """
+        if noc_rtt < 0:
+            raise ValueError("noc_rtt must be non-negative")
+        return (
+            self.base_cycles
+            + self.accesses_per_query * (BANK_LATENCY_CYCLES + noc_rtt)
+            + self.misses_per_query(alloc_mb) * MISS_PENALTY_CYCLES
+        )
+
+    def utilization(
+        self,
+        qps: float,
+        alloc_mb: float,
+        noc_rtt: float = CALIBRATION_NOC_RTT,
+    ) -> float:
+        """Offered load: arrival rate x mean service time."""
+        if qps < 0:
+            raise ValueError("qps must be non-negative")
+        return qps * self.mean_service_cycles(alloc_mb, noc_rtt) / CORE_FREQ_HZ
+
+    def miss_curve(self, num_points: int, step: float) -> MissCurve:
+        """Per-query miss curve sampled onto a uniform MB grid.
+
+        Used by Jigsaw-style placers, which see LC apps only through
+        their (small) miss curves — the root of Jigsaw's deadline
+        violations.
+        """
+        values = [self.misses_per_query(i * step) for i in range(num_points)]
+        return MissCurve(values, step)
+
+    def qps_at(self, load: str) -> float:
+        """Arrival rate at 'low' or 'high' load (Table III)."""
+        if load == "low":
+            return self.qps.low_qps
+        if load == "high":
+            return self.qps.high_qps
+        raise ValueError("load must be 'low' or 'high'")
+
+
+def _lc(
+    name: str,
+    mem_frac: float,
+    llc_frac: float,
+    shape: str,
+    knee_mb: float,
+    floor: float,
+    service_cv: float,
+) -> Tuple[str, LatencyCriticalProfile]:
+    return name, LatencyCriticalProfile(
+        name, QPS_TABLE[name], mem_frac, llc_frac, shape, knee_mb, floor,
+        service_cv,
+    )
+
+
+#: The five LC apps. Stall fractions and curve shapes reflect TailBench's
+#: published characterisation: masstree/silo are memory-resident key-value
+#: / OLTP engines with pointer-chasing (cliff-ish curves, high memory
+#: sensitivity); xapian (search) and moses (SMT) have large working sets
+#: with smooth reuse; img-dnn is compute-heavy with a modest working set.
+LC_PROFILES: Dict[str, LatencyCriticalProfile] = dict(
+    [
+        _lc("masstree", 0.26, 0.30, "cliff", 1.3, 0.10, 0.20),
+        _lc("xapian", 0.25, 0.30, "friendly", 1.3, 0.04, 0.20),
+        _lc("img-dnn", 0.18, 0.24, "friendly", 1.0, 0.12, 0.20),
+        _lc("silo", 0.24, 0.28, "cliff", 1.0, 0.12, 0.20),
+        _lc("moses", 0.22, 0.26, "friendly", 1.5, 0.08, 0.25),
+    ]
+)
+
+
+def lc_profile_names() -> Tuple[str, ...]:
+    """The five LC application names, in the paper's order."""
+    return ("masstree", "xapian", "img-dnn", "silo", "moses")
+
+
+def get_lc_profile(name: str) -> LatencyCriticalProfile:
+    """Look up an LC profile by name."""
+    try:
+        return LC_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown LC app {name!r}; choose from {lc_profile_names()}"
+        ) from None

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import SystemConfig
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """The paper's default 20-core system."""
+    return SystemConfig()
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A 2x2 mini system for fast structural tests."""
+    return SystemConfig(
+        num_cores=4,
+        mesh_cols=2,
+        mesh_rows=2,
+        num_mem_ctrls=4,
+    )

@@ -1,0 +1,158 @@
+"""Tests for the Allocation matrix."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.allocation import Allocation
+from repro.noc.mesh import MeshNoc
+
+
+@pytest.fixture
+def alloc():
+    return Allocation(SystemConfig())
+
+
+@pytest.fixture
+def noc():
+    return MeshNoc(SystemConfig())
+
+
+class TestBasics:
+    def test_empty(self, alloc):
+        assert alloc.app_size("x") == 0.0
+        assert alloc.apps() == []
+        assert alloc.total_used() == 0.0
+
+    def test_add_accumulates(self, alloc):
+        alloc.add(0, "x", 0.25)
+        alloc.add(0, "x", 0.25)
+        assert alloc.allocs[0]["x"] == pytest.approx(0.5)
+        assert alloc.app_size("x") == pytest.approx(0.5)
+
+    def test_add_zero_is_noop(self, alloc):
+        alloc.add(0, "x", 0.0)
+        assert alloc.apps() == []
+
+    def test_bank_capacity_enforced(self, alloc):
+        alloc.add(0, "x", 1.0)
+        with pytest.raises(ValueError):
+            alloc.add(0, "y", 0.1)
+
+    def test_bank_bounds(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.add(99, "x", 0.1)
+        with pytest.raises(ValueError):
+            alloc.add(0, "x", -0.1)
+
+    def test_bank_used_free(self, alloc):
+        alloc.add(3, "x", 0.7)
+        assert alloc.bank_used(3) == pytest.approx(0.7)
+        assert alloc.bank_free(3) == pytest.approx(0.3)
+
+    def test_app_banks_sorted(self, alloc):
+        alloc.add(5, "x", 0.1)
+        alloc.add(2, "x", 0.1)
+        assert alloc.app_banks("x") == [2, 5]
+
+    def test_apps_in_bank(self, alloc):
+        alloc.add(0, "b", 0.1)
+        alloc.add(0, "a", 0.1)
+        assert alloc.apps_in_bank(0) == ["a", "b"]
+
+    def test_partition_mode_validated(self):
+        with pytest.raises(ValueError):
+            Allocation(SystemConfig(), partition_mode="bogus")
+
+    def test_validate_passes_for_legal(self, alloc):
+        alloc.add(0, "x", 1.0)
+        alloc.validate()
+
+
+class TestNocDerived:
+    def test_local_allocation_zero_rtt(self, alloc, noc):
+        alloc.add(0, "x", 1.0)
+        assert alloc.avg_noc_rtt("x", 0, noc) == 0.0
+        assert alloc.avg_noc_hops("x", 0, noc) == 0.0
+
+    def test_weighted_by_fraction(self, alloc, noc):
+        alloc.add(0, "x", 0.5)
+        alloc.add(1, "x", 0.5)
+        expected = 0.5 * noc.round_trip(0, 1)
+        assert alloc.avg_noc_rtt("x", 0, noc) == pytest.approx(expected)
+
+    def test_empty_app_uses_snuca_average(self, alloc, noc):
+        rtt = alloc.avg_noc_rtt("ghost", 0, noc)
+        snuca = sum(
+            noc.round_trip(0, b) for b in range(20)
+        ) / 20
+        assert rtt == pytest.approx(snuca)
+
+    def test_far_allocation_costs_more(self, alloc, noc):
+        near = Allocation(SystemConfig())
+        near.add(0, "x", 1.0)
+        far = Allocation(SystemConfig())
+        far.add(19, "x", 1.0)
+        assert far.avg_noc_rtt("x", 0, noc) > near.avg_noc_rtt(
+            "x", 0, noc
+        )
+
+
+class TestWaysPerBank:
+    def test_full_bank_is_full_ways(self, alloc):
+        alloc.add(0, "x", 1.0)
+        assert alloc.ways_per_bank("x") == pytest.approx(32.0)
+
+    def test_striped_thin_partition(self, alloc):
+        for bank in range(20):
+            alloc.add(bank, "x", 0.125)
+        assert alloc.ways_per_bank("x") == pytest.approx(4.0)
+
+    def test_zero_for_empty(self, alloc):
+        assert alloc.ways_per_bank("x") == 0.0
+
+    def test_partition_groups_combine(self, alloc):
+        alloc.add(0, "a", 0.25)
+        alloc.add(0, "b", 0.25)
+        alloc.partition_groups["a"] = "vm0"
+        alloc.partition_groups["b"] = "vm0"
+        # Each app sees the group's combined 0.5 MB -> 16 ways.
+        assert alloc.ways_per_bank("a") == pytest.approx(16.0)
+
+    def test_ungrouped_apps_see_own_ways(self, alloc):
+        alloc.add(0, "a", 0.25)
+        alloc.add(0, "b", 0.25)
+        assert alloc.ways_per_bank("a") == pytest.approx(8.0)
+
+
+class TestSecurityViews:
+    def test_bank_vms(self, alloc):
+        alloc.add(0, "a", 0.2)
+        alloc.add(0, "b", 0.2)
+        alloc.add(1, "c", 0.2)
+        vm_map = {"a": 0, "b": 1, "c": 1}
+        assert alloc.bank_vms(vm_map) == {0: {0, 1}, 1: {1}}
+
+    def test_isolation_violations(self, alloc):
+        alloc.add(0, "a", 0.2)
+        alloc.add(0, "b", 0.2)
+        vm_map = {"a": 0, "b": 1}
+        assert alloc.violates_bank_isolation(vm_map) == [0]
+
+    def test_no_violation_when_same_vm(self, alloc):
+        alloc.add(0, "a", 0.2)
+        alloc.add(0, "b", 0.2)
+        vm_map = {"a": 0, "b": 0}
+        assert alloc.violates_bank_isolation(vm_map) == []
+
+
+class TestDescriptors:
+    def test_descriptor_matches_allocation(self, alloc):
+        alloc.add(0, "x", 0.75)
+        alloc.add(1, "x", 0.25)
+        desc = alloc.descriptor_for("x")
+        assert desc.fraction_in(0) == pytest.approx(0.75, abs=0.01)
+        assert desc.fraction_in(1) == pytest.approx(0.25, abs=0.01)
+
+    def test_descriptor_for_empty_rejected(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.descriptor_for("ghost")

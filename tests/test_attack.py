@@ -1,0 +1,153 @@
+"""Tests for the attack experiments: port attack and leakage."""
+
+import pytest
+
+from repro.sim.attack import (
+    PortAttackConfig,
+    attack_signal_strength,
+    run_leakage_experiment,
+    run_port_attack,
+)
+
+
+def fast_config(**kwargs):
+    # Victim threads complete ~12 accesses per attacker access when
+    # flooding a contended bank, so dwells must cover several sample
+    # batches: 1500 completions / 12 ~ 125 attacker accesses ~ 12
+    # batches of 10.
+    defaults = dict(
+        num_banks=4, dwell_accesses=1500, pause_accesses=300,
+        batch_size=10,
+    )
+    defaults.update(kwargs)
+    return PortAttackConfig(**defaults)
+
+
+class TestPortAttack:
+    def test_same_bank_signal_dominates(self):
+        samples = run_port_attack(fast_config())
+        same, other, quiet = attack_signal_strength(samples)
+        assert same > other > quiet - 1e-9
+        # A single extra closed-loop competitor at least doubles the
+        # attacker's access time; three should triple it or more.
+        assert same > 2.5 * quiet
+
+    def test_quiet_baseline_is_bank_latency(self):
+        cfg = fast_config()
+        samples = run_port_attack(cfg, include_victim=False)
+        assert all(s.victim_bank is None for s in samples)
+        avg = sum(s.avg_access_cycles for s in samples) / len(samples)
+        assert avg == pytest.approx(cfg.bank_latency, rel=0.05)
+
+    def test_victim_rotates_over_all_banks(self):
+        cfg = fast_config()
+        samples = run_port_attack(cfg)
+        observed = {
+            s.victim_bank for s in samples if s.victim_bank is not None
+        }
+        assert observed == set(range(cfg.num_banks))
+
+    def test_pause_phases_present(self):
+        samples = run_port_attack(fast_config())
+        assert any(s.victim_bank is None for s in samples)
+
+    def test_more_victim_threads_stronger_signal(self):
+        weak = attack_signal_strength(
+            run_port_attack(fast_config(victim_threads=1))
+        )[0]
+        strong = attack_signal_strength(
+            run_port_attack(fast_config(victim_threads=3))
+        )[0]
+        assert strong > weak
+
+    def test_two_ports_halve_contention(self):
+        one = attack_signal_strength(
+            run_port_attack(fast_config(bank_ports=1))
+        )[0]
+        two = attack_signal_strength(
+            run_port_attack(fast_config(bank_ports=2))
+        )[0]
+        assert two < one
+
+    def test_default_config_matches_xeon(self):
+        cfg = PortAttackConfig()
+        assert cfg.num_banks == 12
+        assert cfg.batch_size == 100
+        assert cfg.victim_threads == 3
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            run_port_attack(fast_config(num_banks=0))
+
+    def test_bank_isolation_defends_the_attack(self):
+        """Jumanji's defense: with the victim's data isolated away from
+        the attacker's bank, the same-bank spikes disappear and the
+        attacker's worst observation drops to NoC-noise level."""
+        cfg = fast_config()
+        attacked = run_port_attack(cfg)
+        defended = run_port_attack(cfg, bank_isolated=True)
+        same_attacked, _other, quiet = attack_signal_strength(attacked)
+        defended_dwell = [
+            s.avg_access_cycles for s in defended
+            if s.victim_bank is not None
+        ]
+        assert defended_dwell
+        # No same-bank phase exists at all under isolation.
+        assert all(
+            s.victim_bank != cfg.attacker_bank for s in defended
+        )
+        # The defended worst case is far below the attack signal.
+        assert max(defended_dwell) < 0.5 * same_attacked
+        assert max(defended_dwell) < quiet + 3 * (
+            cfg.noc_contention_cycles + 1
+        )
+
+    def test_signal_strength_needs_full_trace(self):
+        samples = run_port_attack(
+            fast_config(), include_victim=False
+        )
+        with pytest.raises(ValueError):
+            attack_signal_strength(samples)
+
+
+class TestLeakage:
+    def test_shared_bank_miss_rate_varies_with_mix(self):
+        results = run_leakage_experiment(
+            num_mixes=8, accesses=8000, shared_bank=True
+        )
+        rates = [r.victim_miss_rate for r in results]
+        assert max(rates) - min(rates) > 0.05
+
+    def test_isolated_bank_is_mix_independent(self):
+        results = run_leakage_experiment(
+            num_mixes=6, accesses=8000, shared_bank=False
+        )
+        rates = [r.victim_miss_rate for r in results]
+        assert max(rates) - min(rates) < 1e-9
+
+    def test_policy_flips_across_mixes(self):
+        results = run_leakage_experiment(
+            num_mixes=8, accesses=8000, shared_bank=True
+        )
+        policies = {r.follower_policy for r in results}
+        assert policies == {"srrip", "brrip"}
+
+    def test_leakage_correlates_with_policy(self):
+        """BRRIP-steered mixes hurt the short-reuse victim."""
+        results = run_leakage_experiment(
+            num_mixes=10, accesses=8000, shared_bank=True
+        )
+        brrip = [
+            r.victim_miss_rate for r in results
+            if r.follower_policy == "brrip"
+        ]
+        srrip = [
+            r.victim_miss_rate for r in results
+            if r.follower_policy == "srrip"
+        ]
+        assert brrip and srrip
+        assert min(brrip) > max(srrip)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_leakage_experiment(num_mixes=0)

@@ -1,0 +1,171 @@
+"""Tests for the LLC bank: content, partitioning, ports, management."""
+
+import pytest
+
+from repro.cache.bank import CacheBank
+
+
+def small_bank(**kwargs):
+    defaults = dict(num_sets=8, num_ways=4, latency=13, policy="lru")
+    defaults.update(kwargs)
+    return CacheBank(**defaults)
+
+
+class TestBasicContent:
+    def test_first_access_misses_then_hits(self):
+        bank = small_bank()
+        assert not bank.access(0x100).hit
+        assert bank.access(0x100).hit
+
+    def test_set_mapping(self):
+        bank = small_bank()
+        assert bank.set_index(0) == 0
+        assert bank.set_index(8) == 0
+        assert bank.set_index(3) == 3
+
+    def test_fills_all_ways_before_evicting(self):
+        bank = small_bank()
+        # Four lines in the same set: no evictions.
+        for i in range(4):
+            bank.access(i * 8)
+        assert bank.evictions == 0
+        for i in range(4):
+            assert bank.contains(i * 8)
+
+    def test_eviction_on_overflow(self):
+        bank = small_bank()
+        for i in range(5):
+            bank.access(i * 8)
+        assert bank.evictions == 1
+        # LRU: the first line was evicted.
+        assert not bank.contains(0)
+
+    def test_stats_counts(self):
+        bank = small_bank()
+        bank.access(1)
+        bank.access(1)
+        bank.access(9)
+        assert bank.hits == 1
+        assert bank.misses == 2
+
+    def test_reset_stats(self):
+        bank = small_bank()
+        bank.access(1)
+        bank.reset_stats()
+        assert bank.misses == 0
+        # Content preserved.
+        assert bank.contains(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheBank(num_sets=0, num_ways=4)
+        with pytest.raises(ValueError):
+            CacheBank(num_sets=4, num_ways=4, num_ports=0)
+        with pytest.raises(ValueError):
+            CacheBank(num_sets=4, num_ways=4, latency=-1)
+
+
+class TestPartitionEnforcement:
+    def test_partition_cannot_evict_other(self):
+        bank = small_bank()
+        bank.partitioner.set_quota("a", 2)
+        bank.partitioner.set_quota("b", 2)
+        # "a" fills its two ways of set 0.
+        bank.access(0, partition="a")
+        bank.access(8, partition="a")
+        # "b" fills its two.
+        bank.access(16, partition="b")
+        bank.access(24, partition="b")
+        # "a" overflows: must evict its own line, not b's.
+        result = bank.access(32, partition="a")
+        assert result.evicted_owner == "a"
+        assert bank.contains(16) and bank.contains(24)
+
+    def test_occupancy_tracks_quota(self):
+        bank = small_bank()
+        bank.partitioner.set_quota("a", 2)
+        for i in range(16):
+            bank.access(i * 8, partition="a")
+        # One set, each fill in a distinct set: 8 sets x <=2 ways.
+        assert bank.occupancy("a") <= 2 * bank.num_sets
+
+    def test_quota_bounds_ways_per_set(self):
+        bank = small_bank()
+        bank.partitioner.set_quota("a", 2)
+        # 6 lines mapping to set 0.
+        for i in range(6):
+            bank.access(i * 8, partition="a")
+        owners = bank._owners[0]
+        assert sum(1 for o in owners if o == "a") <= 2
+
+    def test_resident_partitions(self):
+        bank = small_bank()
+        bank.access(0, partition="x")
+        bank.access(1, partition="y")
+        assert bank.resident_partitions() == {"x", "y"}
+
+
+class TestPorts:
+    def test_no_wait_when_spaced(self):
+        bank = small_bank()
+        r1 = bank.access(0, now=0)
+        r2 = bank.access(1, now=100)
+        assert r1.port_wait == 0
+        assert r2.port_wait == 0
+
+    def test_back_to_back_queues(self):
+        bank = small_bank()
+        bank.access(0, now=0)
+        r = bank.access(1, now=0)
+        assert r.port_wait == 13
+        assert bank.port_conflicts == 1
+
+    def test_two_ports_absorb_pair(self):
+        bank = small_bank(num_ports=2)
+        bank.access(0, now=0)
+        r2 = bank.access(1, now=0)
+        r3 = bank.access(2, now=0)
+        assert r2.port_wait == 0
+        assert r3.port_wait == 13
+
+    def test_finish_time_includes_latency(self):
+        bank = small_bank()
+        r = bank.access(0, now=5)
+        assert r.finish_time == 5 + 13
+
+    def test_total_port_wait_accumulates(self):
+        bank = small_bank()
+        for _ in range(3):
+            bank.access(0, now=0)
+        assert bank.total_port_wait == 13 + 26
+
+
+class TestManagement:
+    def test_invalidate_partition(self):
+        bank = small_bank()
+        bank.access(0, partition="a")
+        bank.access(1, partition="b")
+        count = bank.invalidate_partition("a")
+        assert count == 1
+        assert not bank.contains(0)
+        assert bank.contains(1)
+
+    def test_flush(self):
+        bank = small_bank()
+        bank.access(0)
+        bank.access(1)
+        assert bank.flush() == 2
+        assert bank.resident_partitions() == set()
+
+    def test_flush_empty_bank(self):
+        assert small_bank().flush() == 0
+
+
+class TestDrripIntegration:
+    def test_drrip_bank_counts_misses_into_psel(self):
+        bank = small_bank(num_sets=64, policy="drrip")
+        start = bank.policy.psel
+        # Misses in srrip leader set 0.
+        for i in range(5):
+            bank.access(i * 64, now=i)
+        assert bank.policy.psel > start

@@ -1,0 +1,70 @@
+"""Tests for chip-map rendering and the Fig. 2 experiment."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.allocation import Allocation
+from repro.experiments import fig2
+from repro.experiments.chipmap import (
+    render_chip,
+    render_design_comparison,
+)
+
+
+class TestRenderChip:
+    def make_alloc(self):
+        alloc = Allocation(SystemConfig())
+        alloc.add(0, "a", 0.5)
+        alloc.add(0, "b", 0.5)
+        alloc.add(19, "c", 1.0)
+        return alloc
+
+    def test_mesh_shape(self):
+        text = render_chip(self.make_alloc(), {"a": 0, "b": 1, "c": 3})
+        rows = [
+            line for line in text.splitlines() if line.startswith("[")
+        ]
+        assert len(rows) == 4
+        assert rows[0].count("[") == 5
+
+    def test_shared_bank_lists_vms(self):
+        text = render_chip(self.make_alloc(), {"a": 0, "b": 1, "c": 3})
+        assert "[01  ]" in text
+        assert "[3   ]" in text
+
+    def test_empty_banks_dotted(self):
+        text = render_chip(self.make_alloc(), {"a": 0, "b": 1, "c": 3})
+        assert "[....]" in text
+
+    def test_lc_marker(self):
+        text = render_chip(
+            self.make_alloc(), {"a": 0, "b": 1, "c": 3},
+            lc_tiles={0: "a"},
+        )
+        assert "]*" in text
+
+    def test_comparison_requires_allocations(self):
+        with pytest.raises(ValueError):
+            render_design_comparison({}, {})
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run()
+
+    def test_snuca_shares_everywhere(self, result):
+        assert result.banks_shared_across_vms("Adaptive") == 20
+        assert result.banks_shared_across_vms("VM-Part") == 20
+
+    def test_jigsaw_partially_isolates(self, result):
+        shared = result.banks_shared_across_vms("Jigsaw")
+        assert 0 < shared < 20
+
+    def test_jumanji_fully_isolates(self, result):
+        assert result.banks_shared_across_vms("Jumanji") == 0
+
+    def test_format(self, result):
+        text = fig2.format_table(result)
+        assert "Jumanji" in text
+        assert "banks shared across VMs" in text

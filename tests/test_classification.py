@@ -1,0 +1,129 @@
+"""Tests for Whirlpool-style data classification onto VCs."""
+
+import pytest
+
+from repro.sim.tracesim import TraceSimulator
+from repro.vtb.classification import (
+    build_classified_page_table,
+    classify_pages,
+    profile_llc_page_accesses,
+    profile_page_accesses,
+)
+from repro.vtb.vtb import DESCRIPTOR_ENTRIES, PlacementDescriptor
+from repro.workloads.traces import ZipfTrace
+
+
+class TestProfiling:
+    def test_counts_sum_to_accesses(self):
+        counts = profile_page_accesses(
+            ZipfTrace(2000, alpha=1.0, seed=1), 5000
+        )
+        assert sum(counts.values()) == 5000
+
+    def test_zipf_is_skewed(self):
+        counts = profile_page_accesses(
+            ZipfTrace(4000, alpha=1.1, seed=2), 20_000
+        )
+        ranked = sorted(counts.values(), reverse=True)
+        top_decile = sum(ranked[: max(1, len(ranked) // 10)])
+        assert top_decile > 0.3 * sum(ranked)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            profile_page_accesses(ZipfTrace(10, seed=0), 0)
+
+
+class TestClassification:
+    def test_hot_class_is_small_but_heavy(self):
+        counts = profile_page_accesses(
+            ZipfTrace(4000, alpha=1.1, seed=3), 20_000
+        )
+        hot, cold = classify_pages(counts, num_classes=2)
+        assert len(hot) < len(cold)
+        hot_volume = sum(counts[p] for p in hot)
+        assert hot_volume >= 0.4 * sum(counts.values())
+
+    def test_classes_partition_pages(self):
+        counts = {1: 10, 2: 5, 3: 1, 4: 1}
+        classes = classify_pages(counts, num_classes=2)
+        flat = [p for cls in classes for p in cls]
+        assert sorted(flat) == [1, 2, 3, 4]
+
+    def test_single_class(self):
+        counts = {1: 3, 2: 2}
+        classes = classify_pages(counts, num_classes=1)
+        assert classes == [[1, 2]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify_pages({}, 2)
+        with pytest.raises(ValueError):
+            classify_pages({1: 1}, 0)
+
+
+class TestPageTableConstruction:
+    def test_mapping(self):
+        table = build_classified_page_table(
+            [[1, 2], [3]], [10, 11]
+        )
+        assert table.vc_of_page(1) == 10
+        assert table.vc_of_page(3) == 11
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            build_classified_page_table([[1]], [10, 11])
+
+
+class TestEndToEndBenefit:
+    def _run(self, classified: bool) -> float:
+        """Average access latency for a Zipf app on 4 banks, with or
+        without a hot-local / cold-remote split."""
+        trace_factory = lambda: ZipfTrace(16_000, alpha=1.1, seed=9)
+        banks = [0, 1, 5, 6]
+        sim = TraceSimulator(bank_sets=64)
+        if not classified:
+            entries = [
+                banks[i % len(banks)]
+                for i in range(DESCRIPTOR_ENTRIES)
+            ]
+            sim.add_core(
+                0, trace_factory(), 0, PlacementDescriptor(entries)
+            )
+        else:
+            counts = profile_llc_page_accesses(
+                trace_factory(), 30_000
+            )
+            hot, cold = classify_pages(counts, num_classes=2)
+            table = build_classified_page_table(
+                [hot, cold], [1, 2]
+            )
+            # Hot pool pinned to the local bank; cold spread remotely.
+            sim.add_core(
+                0,
+                trace_factory(),
+                0,
+                PlacementDescriptor([0] * DESCRIPTOR_ENTRIES),
+                page_table=table,
+            )
+            sim.install_vc(
+                1, PlacementDescriptor([0] * DESCRIPTOR_ENTRIES)
+            )
+            cold_banks = [1, 5, 6]
+            sim.install_vc(
+                2,
+                PlacementDescriptor(
+                    [
+                        cold_banks[i % len(cold_banks)]
+                        for i in range(DESCRIPTOR_ENTRIES)
+                    ]
+                ),
+            )
+        sim.run(30_000)
+        return sim.stats()[0].avg_latency
+
+    def test_hot_local_placement_wins(self):
+        """Whirlpool's result: classifying hot data into a local VC
+        beats placing the whole footprint proportionally."""
+        uniform = self._run(classified=False)
+        classified = self._run(classified=True)
+        assert classified < uniform

@@ -1,0 +1,130 @@
+"""Tests for repro.config: system, controller, and workload parameters."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CORE_FREQ_HZ,
+    LC_APP_NAMES,
+    LINE_BYTES,
+    QPS_TABLE,
+    RECONFIG_INTERVAL_CYCLES,
+    ControllerConfig,
+    QpsConfig,
+    SystemConfig,
+    VmSpec,
+)
+
+
+class TestSystemConfig:
+    def test_default_matches_paper_table2(self):
+        cfg = SystemConfig()
+        assert cfg.num_cores == 20
+        assert cfg.llc_size_mb == 20.0
+        assert cfg.llc_bank_ways == 32
+        assert cfg.llc_bank_latency == 13
+        assert cfg.mem_latency == 120
+        assert cfg.router_delay == 2
+        assert cfg.num_mem_ctrls == 4
+
+    def test_num_banks_equals_cores(self):
+        assert SystemConfig().num_banks == 20
+
+    def test_bank_sets(self):
+        # 1 MB / (32 ways * 64 B) = 512 sets.
+        assert SystemConfig().bank_sets == 512
+
+    def test_total_ways(self):
+        assert SystemConfig().total_ways == 640
+
+    def test_mesh_shape_must_match_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=20, mesh_cols=4, mesh_rows=4)
+
+    def test_tile_coords_row_major(self):
+        cfg = SystemConfig()
+        assert cfg.tile_coords(0) == (0, 0)
+        assert cfg.tile_coords(4) == (4, 0)
+        assert cfg.tile_coords(5) == (0, 1)
+        assert cfg.tile_coords(19) == (4, 3)
+
+    def test_tile_coords_out_of_range(self):
+        with pytest.raises(ValueError):
+            SystemConfig().tile_coords(20)
+        with pytest.raises(ValueError):
+            SystemConfig().tile_coords(-1)
+
+    def test_with_router_delay(self):
+        cfg = SystemConfig().with_router_delay(3)
+        assert cfg.router_delay == 3
+        # Everything else unchanged.
+        assert cfg.num_cores == 20
+
+    def test_frozen(self):
+        cfg = SystemConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.num_cores = 16  # type: ignore[misc]
+
+    def test_reconfig_interval_is_100ms(self):
+        assert RECONFIG_INTERVAL_CYCLES == int(0.1 * CORE_FREQ_HZ)
+
+    def test_line_bytes(self):
+        assert LINE_BYTES == 64
+
+
+class TestQpsTable:
+    def test_contains_all_five_apps(self):
+        assert set(LC_APP_NAMES) == {
+            "masstree", "xapian", "img-dnn", "silo", "moses",
+        }
+
+    def test_matches_paper_table3(self):
+        assert QPS_TABLE["xapian"] == QpsConfig(130, 570, 1500)
+        assert QPS_TABLE["masstree"] == QpsConfig(300, 1475, 3000)
+        assert QPS_TABLE["img-dnn"] == QpsConfig(28, 135, 350)
+        assert QPS_TABLE["silo"] == QpsConfig(375, 1750, 3500)
+        assert QPS_TABLE["moses"] == QpsConfig(34, 155, 300)
+
+    def test_high_load_exceeds_low(self):
+        for qps in QPS_TABLE.values():
+            assert qps.high_qps > qps.low_qps
+
+
+class TestControllerConfig:
+    def test_defaults_match_paper(self):
+        cfg = ControllerConfig()
+        assert cfg.target_lo == 0.85
+        assert cfg.target_hi == 0.95
+        assert cfg.panic_threshold == 1.10
+        assert cfg.step == 0.10
+        assert cfg.panic_fraction == pytest.approx(1 / 8)
+        assert cfg.configuration_interval == 20
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(target_lo=0.95, target_hi=0.85)
+
+    def test_rejects_panic_below_target(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(target_hi=0.95, panic_threshold=0.90)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(step=0.0)
+        with pytest.raises(ValueError):
+            ControllerConfig(step=1.0)
+
+
+class TestVmSpec:
+    def test_apps_order(self):
+        vm = VmSpec(0, (0, 1, 2), ("lc",), ("b1", "b2"))
+        assert vm.apps == ("lc", "b1", "b2")
+
+    def test_rejects_more_apps_than_cores(self):
+        with pytest.raises(ValueError):
+            VmSpec(0, (0,), ("lc",), ("b1",))
+
+    def test_empty_batch_ok(self):
+        vm = VmSpec(1, (3,), ("lc",), ())
+        assert vm.apps == ("lc",)

@@ -1,0 +1,92 @@
+"""Tests for the energy model and memory system."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.mem.memory import MemoryController, MemorySystem
+from repro.noc.energy import EnergyBreakdown, EnergyModel
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(l1=1, l2=2, llc=3, noc=4, mem=5)
+        assert e.total == 15
+
+    def test_add(self):
+        a = EnergyBreakdown(l1=1, mem=2)
+        b = EnergyBreakdown(l1=3, noc=1)
+        c = a + b
+        assert c.l1 == 4
+        assert c.noc == 1
+        assert c.mem == 2
+
+    def test_scaled(self):
+        e = EnergyBreakdown(l1=2, llc=4).scaled(0.5)
+        assert e.l1 == 1
+        assert e.llc == 2
+
+    def test_default_zero(self):
+        assert EnergyBreakdown().total == 0
+
+
+class TestEnergyModel:
+    def test_access_energy_components(self):
+        model = EnergyModel()
+        e = model.access_energy(10, 5, 2, 8, 1)
+        assert e.l1 == 10 * model.l1_access_pj
+        assert e.l2 == 5 * model.l2_access_pj
+        assert e.llc == 2 * model.llc_bank_access_pj
+        assert e.noc == 8 * model.noc_hop_pj
+        assert e.mem == 1 * model.mem_access_pj
+
+    def test_memory_dominates_per_event(self):
+        model = EnergyModel()
+        assert model.mem_access_pj > 10 * model.llc_bank_access_pj
+
+
+class TestMemoryController:
+    def test_base_latency_at_zero_demand(self):
+        ctrl = MemoryController(tile=0)
+        assert ctrl.effective_latency("t", 0.0) == pytest.approx(120.0)
+
+    def test_latency_grows_with_demand(self):
+        ctrl = MemoryController(tile=0)
+        ctrl.set_share("t", 0.5)
+        low = ctrl.effective_latency("t", 1.0)
+        high = ctrl.effective_latency("t", 20.0)
+        assert high > low
+
+    def test_latency_bounded_at_saturation(self):
+        ctrl = MemoryController(tile=0)
+        ctrl.set_share("t", 0.5)
+        extreme = ctrl.effective_latency("t", 1e9)
+        assert extreme == pytest.approx(120 / 0.05)
+
+    def test_share_validation(self):
+        ctrl = MemoryController(tile=0)
+        with pytest.raises(ValueError):
+            ctrl.set_share("t", 0.0)
+        with pytest.raises(ValueError):
+            ctrl.set_share("t", 1.5)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryController(tile=0).effective_latency("t", -1.0)
+
+
+class TestMemorySystem:
+    def test_four_controllers_at_corners(self):
+        system = MemorySystem(SystemConfig())
+        tiles = {c.tile for c in system.controllers}
+        assert tiles == {0, 4, 15, 19}
+
+    def test_controller_for_nearest(self):
+        system = MemorySystem(SystemConfig())
+        assert system.controller_for(0).tile == 0
+        assert system.controller_for(19).tile == 19
+
+    def test_equal_shares(self):
+        system = MemorySystem(SystemConfig())
+        system.set_equal_shares(["a", "b", "c", "d"])
+        for ctrl in system.controllers:
+            assert ctrl.shares["a"] == pytest.approx(0.25)

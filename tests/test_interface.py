@@ -1,0 +1,99 @@
+"""Tests for the OS/system-call interface."""
+
+import pytest
+
+from repro.core.interface import JumanjiSyscalls
+
+
+@pytest.fixture
+def syscalls():
+    sc = JumanjiSyscalls()
+    sc.create_trust_domain(0, "vm0")
+    sc.create_trust_domain(1, "vm1")
+    sc.assign_trust_domain("xapian", 0)
+    sc.assign_trust_domain("mcf", 1)
+    return sc
+
+
+class TestTrustDomains:
+    def test_membership(self, syscalls):
+        assert syscalls.trust_domain_of("xapian").domain_id == 0
+        assert syscalls.apps_in_domain(1) == {"mcf"}
+
+    def test_duplicate_domain_rejected(self, syscalls):
+        with pytest.raises(ValueError):
+            syscalls.create_trust_domain(0)
+
+    def test_unknown_domain_rejected(self, syscalls):
+        with pytest.raises(KeyError):
+            syscalls.assign_trust_domain("app", 9)
+
+    def test_unassigned_app_raises(self, syscalls):
+        with pytest.raises(KeyError):
+            syscalls.trust_domain_of("ghost")
+
+
+class TestRegistration:
+    def test_register_lc(self, syscalls):
+        syscalls.register_latency_critical("xapian", 1e7)
+        assert syscalls.is_latency_critical("xapian")
+        assert syscalls.deadline_of("xapian") == 1e7
+        assert syscalls.latency_critical_apps() == ["xapian"]
+
+    def test_requires_trust_domain_first(self, syscalls):
+        with pytest.raises(KeyError):
+            syscalls.register_latency_critical("stranger", 1e7)
+
+    def test_bad_deadline(self, syscalls):
+        with pytest.raises(ValueError):
+            syscalls.register_latency_critical("xapian", 0)
+
+    def test_non_lc_deadline_raises(self, syscalls):
+        with pytest.raises(KeyError):
+            syscalls.deadline_of("mcf")
+
+
+class TestRequestLifetime:
+    @pytest.fixture
+    def lc(self, syscalls):
+        syscalls.register_latency_critical("xapian", 1e7)
+        return syscalls
+
+    def test_begin_end_latency(self, lc):
+        token = lc.request_begin("xapian", now_cycles=100.0)
+        latency = lc.request_end(token, now_cycles=350.0)
+        assert latency == 250.0
+        assert lc.completed_count("xapian") == 1
+
+    def test_latency_reported_to_controller(self):
+        seen = []
+        sc = JumanjiSyscalls(on_latency=lambda a, l: seen.append((a, l)))
+        sc.create_trust_domain(0)
+        sc.assign_trust_domain("silo", 0)
+        sc.register_latency_critical("silo", 1e6)
+        token = sc.request_begin("silo", 10.0)
+        sc.request_end(token, 60.0)
+        assert seen == [("silo", 50.0)]
+
+    def test_inflight_tracking(self, lc):
+        t1 = lc.request_begin("xapian", 0.0)
+        t2 = lc.request_begin("xapian", 1.0)
+        assert lc.inflight_count() == 2
+        assert lc.inflight_count("xapian") == 2
+        lc.request_end(t1, 5.0)
+        assert lc.inflight_count() == 1
+
+    def test_double_end_rejected(self, lc):
+        token = lc.request_begin("xapian", 0.0)
+        lc.request_end(token, 5.0)
+        with pytest.raises(KeyError):
+            lc.request_end(token, 6.0)
+
+    def test_time_travel_rejected(self, lc):
+        token = lc.request_begin("xapian", 100.0)
+        with pytest.raises(ValueError):
+            lc.request_end(token, 50.0)
+
+    def test_non_lc_cannot_begin(self, lc):
+        with pytest.raises(KeyError):
+            lc.request_begin("mcf", 0.0)

@@ -1,0 +1,197 @@
+"""Tests for UCP Lookahead and JumanjiLookahead."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.misscurve import MissCurve
+from repro.core.lookahead import jumanji_lookahead, lookahead
+
+
+def curve(values, step=1.0):
+    return MissCurve(values, step)
+
+
+class TestLookahead:
+    def test_all_capacity_distributed(self):
+        curves = {
+            "a": curve([10, 5, 2, 1, 1]),
+            "b": curve([8, 7, 6, 5, 4]),
+        }
+        sizes = lookahead(curves, 4.0, 1.0)
+        assert sum(sizes.values()) == pytest.approx(4.0)
+
+    def test_greedy_prefers_steeper_curve(self):
+        curves = {
+            "steep": curve([10, 1, 1]),
+            "flat": curve([10, 10, 10]),
+        }
+        sizes = lookahead(curves, 1.0, 1.0)
+        assert sizes["steep"] == pytest.approx(1.0)
+        assert sizes["flat"] == pytest.approx(0.0)
+
+    def test_sees_through_cliffs(self):
+        """The defining Lookahead property: a cliff three units out
+        beats a small immediate gain when its average utility is higher."""
+        curves = {
+            "cliff": curve([10, 10, 10, 0]),  # 10/3 per unit over 3
+            "drip": curve([10, 9, 8, 7]),  # 1 per unit
+        }
+        sizes = lookahead(curves, 3.0, 1.0)
+        assert sizes["cliff"] == pytest.approx(3.0)
+
+    def test_minimums_respected(self):
+        curves = {
+            "a": curve([10, 1, 1]),
+            "b": curve([10, 10, 10]),
+        }
+        sizes = lookahead(curves, 2.0, 1.0, minimums={"b": 1.0})
+        assert sizes["b"] >= 1.0
+        assert sum(sizes.values()) == pytest.approx(2.0)
+
+    def test_minimums_exceeding_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            lookahead(
+                {"a": curve([1, 0])}, 1.0, 1.0, minimums={"a": 2.0}
+            )
+
+    def test_unknown_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            lookahead({"a": curve([1, 0])}, 1.0, 1.0,
+                      minimums={"z": 0.5})
+
+    def test_flat_curves_share_evenly(self):
+        curves = {
+            "a": MissCurve.flat(5.0, 4),
+            "b": MissCurve.flat(5.0, 4),
+        }
+        sizes = lookahead(curves, 2.0, 1.0)
+        assert sizes["a"] == pytest.approx(1.0)
+        assert sizes["b"] == pytest.approx(1.0)
+
+    def test_zero_capacity(self):
+        sizes = lookahead({"a": curve([5, 1])}, 0.0, 1.0)
+        assert sizes["a"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lookahead({}, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            lookahead({"a": curve([1, 0])}, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            lookahead({"a": curve([1, 0])}, 1.0, 0.0)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=30.0),
+                min_size=5,
+                max_size=9,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.floats(min_value=0.5, max_value=6.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_conservation_random(self, curve_values, capacity):
+        curves = {
+            f"app{i}": curve(v) for i, v in enumerate(curve_values)
+        }
+        sizes = lookahead(curves, capacity, 0.5)
+        assert sum(sizes.values()) == pytest.approx(capacity, abs=1e-6)
+        assert all(s >= 0 for s in sizes.values())
+
+
+class TestJumanjiLookahead:
+    def four_vm_curves(self):
+        return {
+            0: curve([20, 10, 5, 2, 1, 1, 1, 1, 1, 1, 1]),
+            1: curve([15, 14, 13, 4, 2, 1, 1, 1, 1, 1, 1]),
+            2: curve([10, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9]),
+            3: curve([30, 5, 4, 3, 2, 1, 1, 1, 1, 1, 1]),
+        }
+
+    def test_totals_are_bank_granular(self):
+        lat = {0: 1.3, 1: 0.5, 2: 2.0, 3: 0.0}
+        batch = jumanji_lookahead(self.four_vm_curves(), lat, 20, 1.0)
+        for vm, mb in batch.items():
+            total = mb + lat.get(vm, 0.0)
+            assert total == pytest.approx(round(total))
+
+    def test_all_banks_assigned(self):
+        lat = {0: 1.3, 1: 0.5, 2: 2.0, 3: 0.7}
+        batch = jumanji_lookahead(self.four_vm_curves(), lat, 20, 1.0)
+        total = sum(batch.values()) + sum(lat.values())
+        assert total == pytest.approx(20.0)
+
+    def test_paper_example_fractional_banks(self):
+        """Paper: an LC app needing 1.3 banks leaves batch sizes of
+        0.7, 1.7, 2.7, ... banks for that VM."""
+        lat = {0: 1.3, 1: 0.0, 2: 0.0, 3: 0.0}
+        batch = jumanji_lookahead(self.four_vm_curves(), lat, 20, 1.0)
+        frac = batch[0] - int(batch[0])
+        assert frac == pytest.approx(0.7)
+
+    def test_every_vm_gets_at_least_one_bank(self):
+        curves = {
+            0: curve([100, 1, 1, 1, 1, 1]),
+            1: MissCurve.flat(0.0, 6),
+        }
+        batch = jumanji_lookahead(curves, {0: 0.0, 1: 0.0}, 4, 1.0)
+        assert batch[1] >= 1.0 - 1e-9
+
+    def test_lc_reservation_covered(self):
+        curves = {0: MissCurve.flat(5.0, 24), 1: MissCurve.flat(5.0, 24)}
+        lat = {0: 3.4, 1: 0.0}
+        batch = jumanji_lookahead(curves, lat, 20, 1.0)
+        assert batch[0] + 3.4 >= 4.0 - 1e-9  # ceil(3.4) banks minimum
+
+    def test_overfull_reservations_rejected(self):
+        curves = {i: MissCurve.flat(1.0, 4) for i in range(4)}
+        lat = {i: 10.0 for i in range(4)}
+        with pytest.raises(ValueError):
+            jumanji_lookahead(curves, lat, 20, 1.0)
+
+    def test_hungry_vm_gets_more_banks(self):
+        curves = {
+            0: curve([50, 40, 30, 20, 10, 5, 2, 1, 1, 1, 1]),
+            1: MissCurve.flat(1.0, 11),
+        }
+        batch = jumanji_lookahead(curves, {0: 0.0, 1: 0.0}, 10, 1.0)
+        assert batch[0] > batch[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jumanji_lookahead({}, {}, 0, 1.0)
+        with pytest.raises(ValueError):
+            jumanji_lookahead(
+                {0: MissCurve.flat(1, 4)}, {0: 0.0}, 4, 0.0
+            )
+        with pytest.raises(ValueError):
+            jumanji_lookahead(
+                {0: MissCurve.flat(1, 4)}, {0: -1.0}, 4, 1.0
+            )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=3.0),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bank_conservation_random_reservations(self, lat_values):
+        curves = {
+            i: MissCurve.flat(float(i + 1), 24)
+            for i in range(len(lat_values))
+        }
+        lat = {i: v for i, v in enumerate(lat_values)}
+        batch = jumanji_lookahead(curves, lat, 20, 1.0)
+        total_banks = sum(
+            batch[vm] + lat[vm] for vm in batch
+        )
+        assert total_banks == pytest.approx(20.0)
+        for vm in batch:
+            assert batch[vm] + lat[vm] == pytest.approx(
+                round(batch[vm] + lat[vm])
+            )

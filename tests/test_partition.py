@@ -1,0 +1,88 @@
+"""Tests for CAT-style way-partitioning."""
+
+import pytest
+
+from repro.cache.partition import WayPartitioner
+
+
+class TestQuotas:
+    def test_initial_state(self):
+        p = WayPartitioner(16)
+        assert p.num_ways == 16
+        assert p.allocated_ways == 0
+        assert p.free_ways == 16
+
+    def test_set_and_read_quota(self):
+        p = WayPartitioner(16)
+        p.set_quota("a", 4)
+        assert p.quota("a") == 4
+        assert p.free_ways == 12
+
+    def test_unknown_partition_quota_is_zero(self):
+        assert WayPartitioner(8).quota("ghost") == 0
+
+    def test_overflow_rejected(self):
+        p = WayPartitioner(8)
+        p.set_quota("a", 6)
+        with pytest.raises(ValueError):
+            p.set_quota("b", 3)
+
+    def test_resize_within_capacity(self):
+        p = WayPartitioner(8)
+        p.set_quota("a", 6)
+        p.set_quota("a", 2)
+        p.set_quota("b", 6)
+        assert p.allocated_ways == 8
+
+    def test_zero_quota_removes(self):
+        p = WayPartitioner(8)
+        p.set_quota("a", 4)
+        p.set_quota("a", 0)
+        assert "a" not in p.partitions()
+
+    def test_negative_quota_rejected(self):
+        with pytest.raises(ValueError):
+            WayPartitioner(8).set_quota("a", -1)
+
+    def test_needs_at_least_one_way(self):
+        with pytest.raises(ValueError):
+            WayPartitioner(0)
+
+    def test_clear(self):
+        p = WayPartitioner(8)
+        p.set_quota("a", 4)
+        p.clear()
+        assert p.allocated_ways == 0
+
+
+class TestEvictionRules:
+    def test_partition_can_evict_own_lines(self):
+        p = WayPartitioner(8)
+        p.set_quota("a", 4)
+        assert p.can_evict("a", "a", owner_count=4)
+
+    def test_partition_cannot_evict_other_partition(self):
+        p = WayPartitioner(8)
+        p.set_quota("a", 4)
+        p.set_quota("b", 4)
+        assert not p.can_evict("a", "b", owner_count=2)
+
+    def test_under_quota_may_claim_shared(self):
+        p = WayPartitioner(8)
+        p.set_quota("a", 4)
+        assert p.can_evict("a", None, owner_count=2)
+
+    def test_at_quota_may_not_claim_shared(self):
+        p = WayPartitioner(8)
+        p.set_quota("a", 4)
+        assert not p.can_evict("a", None, owner_count=4)
+
+    def test_unpartitioned_filler_only_touches_shared(self):
+        p = WayPartitioner(8)
+        p.set_quota("a", 4)
+        assert p.can_evict("z", None, owner_count=0)
+        assert not p.can_evict("z", "a", owner_count=0)
+
+    def test_unpartitioned_filler_can_evict_unpartitioned_owner(self):
+        p = WayPartitioner(8)
+        assert p.can_evict("z", "y", owner_count=0)

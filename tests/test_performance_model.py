@@ -1,0 +1,161 @@
+"""Tests for the analytic batch performance model and ModelParams."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.allocation import Allocation
+from repro.model.params import DEFAULT_PARAMS, ModelParams
+from repro.model.performance import (
+    batch_perf,
+    estimate_ipc,
+    lc_service_cycles,
+    snuca_avg_rtt,
+)
+from repro.noc.mesh import MeshNoc
+from repro.workloads.spec import get_profile
+from repro.workloads.tailbench import get_lc_profile
+
+
+@pytest.fixture
+def noc():
+    return MeshNoc(SystemConfig())
+
+
+class TestAssocPenalty:
+    def test_full_ways_no_penalty(self):
+        assert DEFAULT_PARAMS.assoc_penalty(32.0) == 1.0
+
+    def test_zero_ways_no_penalty(self):
+        # No allocation: the curve's zero-size miss rate already applies.
+        assert DEFAULT_PARAMS.assoc_penalty(0.0) == 1.0
+
+    def test_thin_partition_penalised(self):
+        p4 = DEFAULT_PARAMS.assoc_penalty(4.0)
+        p2 = DEFAULT_PARAMS.assoc_penalty(2.0)
+        assert p2 > p4 > 1.0
+
+    def test_monotone_in_ways(self):
+        values = [
+            DEFAULT_PARAMS.assoc_penalty(w) for w in (1, 2, 4, 8, 16, 32)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_saturates_below_one_way(self):
+        assert DEFAULT_PARAMS.assoc_penalty(
+            0.5
+        ) == DEFAULT_PARAMS.assoc_penalty(1.0)
+
+
+class TestBatchPerf:
+    def make_alloc(self, size_mb, banks, config=None):
+        alloc = Allocation(config or SystemConfig())
+        per = size_mb / len(banks)
+        for b in banks:
+            alloc.add(b, "app", per)
+        return alloc
+
+    def test_more_cache_more_ipc(self, noc):
+        profile = get_profile("403.gcc")
+        small = batch_perf(
+            "app", profile, 0, self.make_alloc(0.5, [0]), noc
+        )
+        large = batch_perf(
+            "app", profile, 0, self.make_alloc(4.0, [0, 1, 5, 6]), noc
+        )
+        assert large.ipc > small.ipc
+
+    def test_nearby_beats_far(self, noc):
+        profile = get_profile("403.gcc")
+        near = batch_perf(
+            "app", profile, 0, self.make_alloc(1.0, [0]), noc
+        )
+        far = batch_perf(
+            "app", profile, 0, self.make_alloc(1.0, [19]), noc
+        )
+        assert near.ipc > far.ipc
+        assert near.noc_rtt < far.noc_rtt
+
+    def test_shared_app_gets_sharing_penalty(self, noc):
+        profile = get_profile("403.gcc")
+        alloc = self.make_alloc(1.0, [0])
+        alloc.partition_mode = "lc-only"
+        alloc.shared_batch.add("app")
+        shared = batch_perf("app", profile, 0, alloc, noc)
+        assert shared.mpki_eff == pytest.approx(
+            profile.mpki(1.0) * DEFAULT_PARAMS.sharing_penalty
+        )
+
+    def test_partitioned_thin_app_penalised(self, noc):
+        profile = get_profile("403.gcc")
+        alloc = Allocation(SystemConfig())
+        for bank in range(20):
+            alloc.add(bank, "app", 0.05)  # 1.6 ways per bank
+        perf = batch_perf("app", profile, 0, alloc, noc)
+        assert perf.mpki_eff > profile.mpki(1.0)
+
+    def test_cpi_property(self, noc):
+        profile = get_profile("454.calculix")
+        perf = batch_perf(
+            "app", profile, 0, self.make_alloc(1.0, [0]), noc
+        )
+        assert perf.cpi == pytest.approx(1.0 / perf.ipc)
+
+
+class TestEstimateIpc:
+    def test_monotone_in_size(self):
+        profile = get_profile("471.omnetpp")
+        cfg = SystemConfig()
+        ipcs = [
+            estimate_ipc(profile, s, 16.0, cfg)
+            for s in (0.0, 1.0, 2.0, 4.0, 8.0)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(ipcs, ipcs[1:]))
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            estimate_ipc(
+                get_profile("403.gcc"), -1.0, 16.0, SystemConfig()
+            )
+
+
+class TestLcService:
+    def test_matches_profile_at_calibration_point(self):
+        profile = get_lc_profile("xapian")
+        cfg = SystemConfig()
+        service = lc_service_cycles(
+            profile, 2.5, 20.0, 32.0, cfg
+        )
+        assert service == pytest.approx(
+            profile.mean_service_cycles(2.5, 20.0), rel=1e-9
+        )
+
+    def test_penalty_for_thin_ways(self):
+        profile = get_lc_profile("xapian")
+        cfg = SystemConfig()
+        thick = lc_service_cycles(profile, 2.5, 20.0, 32.0, cfg)
+        thin = lc_service_cycles(profile, 2.5, 20.0, 4.0, cfg)
+        assert thin > thick
+
+    def test_validation(self):
+        profile = get_lc_profile("silo")
+        with pytest.raises(ValueError):
+            lc_service_cycles(profile, -1, 0, 4, SystemConfig())
+
+
+class TestSnucaRtt:
+    def test_center_below_corner(self, noc):
+        # Tile 7 is central; tile 0 is a corner.
+        assert snuca_avg_rtt(7, noc) < snuca_avg_rtt(0, noc)
+
+    def test_positive(self, noc):
+        assert snuca_avg_rtt(0, noc) > 0
+
+
+class TestModelParams:
+    def test_frozen_defaults(self):
+        assert DEFAULT_PARAMS.mlp == 1.6
+        assert DEFAULT_PARAMS.warmup_epochs == 5
+
+    def test_custom(self):
+        params = ModelParams(assoc_beta=0.0)
+        assert params.assoc_penalty(1.0) == 1.0

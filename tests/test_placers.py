@@ -1,0 +1,249 @@
+"""Tests for LatCritPlacer, Jigsaw placement, and JumanjiPlacer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.jigsaw import jigsaw_place, place_sizes_near_tiles
+from repro.core.jumanji import (
+    assign_banks_to_vms,
+    jumanji_placer,
+    vm_batch_curves,
+)
+from repro.core.latcrit import lat_crit_placer
+
+from .helpers import synthetic_context, workload_context
+
+
+class TestLatCritPlacer:
+    def test_places_target_sizes(self):
+        ctx = synthetic_context({"lc0": 1.5, "lc1": 0.5})
+        alloc = lat_crit_placer(ctx)
+        assert alloc.app_size("lc0") == pytest.approx(1.5)
+        assert alloc.app_size("lc1") == pytest.approx(0.5)
+        assert alloc.app_size("lc2") == 0.0
+
+    def test_closest_banks_first(self):
+        ctx = synthetic_context({"lc0": 1.5})
+        alloc = lat_crit_placer(ctx)
+        banks = alloc.app_banks("lc0")
+        # lc0 is on tile 0: its 1.5 MB fills bank 0 then a neighbour.
+        assert 0 in banks
+        assert all(ctx.noc.hops(0, b) <= 1 for b in banks)
+
+    def test_spills_when_bank_full(self):
+        ctx = synthetic_context({"lc0": 2.5})
+        alloc = lat_crit_placer(ctx)
+        assert alloc.app_size("lc0") == pytest.approx(2.5)
+        assert len(alloc.app_banks("lc0")) >= 3
+
+    def test_zero_targets_place_nothing(self):
+        ctx = synthetic_context({})
+        alloc = lat_crit_placer(ctx)
+        assert alloc.apps() == []
+
+    def test_oversize_target_rejected(self):
+        ctx = synthetic_context({"lc0": 50.0})
+        with pytest.raises(ValueError):
+            lat_crit_placer(ctx)
+
+    def test_isolate_vms_avoids_foreign_banks(self):
+        # Large targets force spilling; with isolation, spills must not
+        # land in banks already owned by another VM.
+        ctx = synthetic_context(
+            {f"lc{i}": 4.5 for i in range(4)}
+        )
+        alloc = lat_crit_placer(ctx, isolate_vms=True)
+        violations = alloc.violates_bank_isolation(ctx.vm_of_app_map())
+        assert violations == []
+
+    def test_without_isolation_spills_may_share(self):
+        ctx = synthetic_context({f"lc{i}": 4.75 for i in range(4)})
+        alloc = lat_crit_placer(ctx, isolate_vms=False)
+        assert alloc.total_used() == pytest.approx(19.0)
+
+
+class TestPlaceSizesNearTiles:
+    def test_prefers_home_bank(self):
+        ctx = synthetic_context()
+        from repro.core.allocation import Allocation
+
+        alloc = Allocation(ctx.config)
+        place_sizes_near_tiles(
+            {"batch0": 1.0}, {"batch0": 1}, ctx, alloc
+        )
+        assert alloc.app_banks("batch0") == [1]
+
+    def test_respects_allowed_banks(self):
+        ctx = synthetic_context()
+        from repro.core.allocation import Allocation
+
+        alloc = Allocation(ctx.config)
+        place_sizes_near_tiles(
+            {"batch0": 1.5}, {"batch0": 0}, ctx, alloc,
+            allowed_banks=[10, 11],
+        )
+        assert set(alloc.app_banks("batch0")) <= {10, 11}
+
+    def test_over_capacity_rejected(self):
+        ctx = synthetic_context()
+        from repro.core.allocation import Allocation
+
+        alloc = Allocation(ctx.config)
+        with pytest.raises(ValueError):
+            place_sizes_near_tiles(
+                {"batch0": 3.0}, {"batch0": 0}, ctx, alloc,
+                allowed_banks=[0, 1],
+            )
+
+    def test_contended_banks_shared(self):
+        ctx = synthetic_context()
+        from repro.core.allocation import Allocation
+
+        alloc = Allocation(ctx.config)
+        place_sizes_near_tiles(
+            {"a": 0.75, "b": 0.75},
+            {"a": 0, "b": 0},
+            ctx,
+            alloc,
+            allowed_banks=[0, 1],
+        )
+        # Both want bank 0; the chunked rounds split it.
+        assert alloc.bank_used(0) == pytest.approx(1.0)
+        assert alloc.bank_used(1) == pytest.approx(0.5)
+        assert len(alloc.apps_in_bank(0)) == 2
+
+
+class TestJigsawPlace:
+    def test_fills_capacity(self):
+        ctx = synthetic_context()
+        alloc = jigsaw_place(ctx)
+        assert alloc.total_used() == pytest.approx(
+            ctx.config.llc_size_mb
+        )
+
+    def test_batch_placed_near_threads(self):
+        ctx = synthetic_context()
+        alloc = jigsaw_place(ctx)
+        for vm_id in range(4):
+            app = f"batch{vm_id}"
+            tile = ctx.tile_of(app)
+            rtt = alloc.avg_noc_rtt(app, tile, ctx.noc)
+            # Far below the S-NUCA average (~20 cycles).
+            assert rtt < 12.0
+
+    def test_subset_of_apps(self):
+        ctx = synthetic_context()
+        alloc = jigsaw_place(ctx, apps=["batch0", "batch1"])
+        assert set(alloc.apps()) <= {"batch0", "batch1"}
+
+    def test_respects_existing_allocation(self):
+        ctx = synthetic_context({"lc0": 1.0})
+        alloc = lat_crit_placer(ctx)
+        jigsaw_place(
+            ctx, apps=["batch0"], allocation=alloc, capacity_mb=2.0
+        )
+        alloc.validate()
+        assert alloc.app_size("lc0") == pytest.approx(1.0)
+        assert alloc.app_size("batch0") == pytest.approx(2.0)
+
+
+class TestJumanjiPlacer:
+    def test_bank_isolation_guaranteed(self):
+        ctx = workload_context()
+        alloc = jumanji_placer(ctx)
+        assert alloc.violates_bank_isolation(ctx.vm_of_app_map()) == []
+
+    def test_lc_targets_met(self):
+        ctx = workload_context({"xapian#0": 2.0, "xapian#1": 1.5,
+                                "xapian#2": 2.0, "xapian#3": 1.0})
+        alloc = jumanji_placer(ctx)
+        assert alloc.app_size("xapian#0") == pytest.approx(2.0)
+        assert alloc.app_size("xapian#3") == pytest.approx(1.0)
+
+    def test_all_banks_owned(self):
+        ctx = workload_context()
+        alloc = jumanji_placer(ctx)
+        vm_map = ctx.vm_of_app_map()
+        owned = alloc.bank_vms(vm_map)
+        assert len(owned) == ctx.config.num_banks
+
+    def test_insecure_mode_skips_isolation(self):
+        ctx = workload_context()
+        alloc = jumanji_placer(ctx, enforce_isolation=False)
+        # Insecure mode still meets LC targets.
+        for app in ctx.lc_apps:
+            assert alloc.app_size(app) == pytest.approx(
+                ctx.lat_size(app)
+            )
+
+    def test_lc_data_near_cores(self):
+        ctx = workload_context()
+        alloc = jumanji_placer(ctx)
+        for app in ctx.lc_apps:
+            tile = ctx.tile_of(app)
+            assert alloc.avg_noc_rtt(app, tile, ctx.noc) < 12.0
+
+    @given(st.lists(
+        st.floats(min_value=0.25, max_value=3.0),
+        min_size=4, max_size=4,
+    ))
+    @settings(max_examples=20, deadline=None)
+    def test_isolation_invariant_random_sizes(self, sizes):
+        ctx = workload_context(
+            {f"xapian#{i}": s for i, s in enumerate(sizes)}
+        )
+        alloc = jumanji_placer(ctx)
+        alloc.validate()
+        assert alloc.violates_bank_isolation(ctx.vm_of_app_map()) == []
+        total = alloc.total_used()
+        assert total <= ctx.config.llc_size_mb + 1e-6
+
+
+class TestVmBatchCurves:
+    def test_one_curve_per_vm(self):
+        ctx = synthetic_context()
+        curves = vm_batch_curves(ctx)
+        assert set(curves) == {0, 1, 2, 3}
+
+    def test_combined_zero_size_is_sum(self):
+        ctx = workload_context()
+        curves = vm_batch_curves(ctx)
+        for vm in ctx.vms:
+            expected = sum(
+                ctx.apps[a].curve.misses_at(0.0) for a in vm.batch_apps
+            )
+            assert curves[vm.vm_id].misses_at(0.0) == pytest.approx(
+                expected
+            )
+
+
+class TestAssignBanks:
+    def test_lc_banks_pin_ownership(self):
+        ctx = synthetic_context({"lc0": 1.0})
+        alloc = lat_crit_placer(ctx)
+        banks_of = assign_banks_to_vms(
+            ctx, alloc, {0: 5, 1: 5, 2: 5, 3: 5}
+        )
+        assert 0 in banks_of[0]
+
+    def test_every_bank_assigned_once(self):
+        ctx = synthetic_context({"lc0": 1.0, "lc2": 0.5})
+        alloc = lat_crit_placer(ctx)
+        banks_of = assign_banks_to_vms(
+            ctx, alloc, {0: 5, 1: 5, 2: 5, 3: 5}
+        )
+        all_banks = sorted(b for banks in banks_of.values()
+                           for b in banks)
+        assert all_banks == list(range(20))
+
+    def test_proximity_preference(self):
+        ctx = synthetic_context()
+        alloc = lat_crit_placer(ctx)
+        banks_of = assign_banks_to_vms(
+            ctx, alloc, {0: 5, 1: 5, 2: 5, 3: 5}
+        )
+        # VM0 lives around tile 0; its banks should be nearer to 0 than
+        # VM3's banks are.
+        vm0_avg = sum(ctx.noc.hops(0, b) for b in banks_of[0]) / 5
+        vm3_avg = sum(ctx.noc.hops(0, b) for b in banks_of[3]) / 5
+        assert vm0_avg < vm3_avg

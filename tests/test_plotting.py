@@ -1,0 +1,113 @@
+"""Tests for the terminal plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.plotting import (
+    bar_chart,
+    box_row,
+    sparkline,
+    xy_plot,
+)
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        text = bar_chart({"a": 1.0, "bb": 0.5})
+        assert "a " in text and "bb" in text
+        assert text.count("\n") == 1
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart({"big": 2.0, "small": 1.0}, width=10)
+        big, small = text.splitlines()
+        assert big.count("█") == 10
+        assert small.count("█") == 5
+
+    def test_baseline_tick(self):
+        text = bar_chart({"x": 2.0}, width=10, baseline=1.0)
+        assert "|" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=2)
+
+
+class TestBoxRow:
+    def test_markers_present(self):
+        row = box_row(1, 2, 3, 4, 5, lo=0, hi=6, width=30)
+        assert row.count("|") == 2
+        assert row.count("#") == 1
+        assert "=" in row
+
+    def test_median_between_whiskers(self):
+        row = box_row(1, 2, 3, 4, 5, lo=0, hi=6, width=30)
+        assert row.index("|") < row.index("#") < row.rindex("|")
+
+    def test_order_validated(self):
+        with pytest.raises(ValueError):
+            box_row(5, 2, 3, 4, 1, lo=0, hi=6)
+        with pytest.raises(ValueError):
+            box_row(1, 2, 3, 4, 5, lo=6, hi=0)
+
+    def test_width_respected(self):
+        row = box_row(1, 2, 3, 4, 5, lo=0, hi=10, width=25)
+        assert len(row) == 25
+
+
+class TestSparkline:
+    def test_length_matches_series(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_nan_rendered_as_space(self):
+        line = sparkline([1.0, math.nan, 2.0])
+        assert line[1] == " "
+
+    def test_flat_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([math.nan])
+
+
+class TestXyPlot:
+    def test_contains_markers_and_legend(self):
+        text = xy_plot(
+            {"up": [(0, 1), (1, 2)], "down": [(0, 2), (1, 1)]}
+        )
+        assert "o=up" in text and "x=down" in text
+        assert "o" in text.splitlines()[0] or any(
+            "o" in line for line in text.splitlines()
+        )
+
+    def test_log_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            xy_plot({"s": [(0, 0.0)]}, log_y=True)
+
+    def test_log_scale_orders_decades(self):
+        text = xy_plot(
+            {"s": [(0, 1.0), (1, 10.0), (2, 100.0)]},
+            log_y=True,
+            height=9,
+            width=9,
+        )
+        lines = text.splitlines()[:-1]
+        rows = [
+            i for i, line in enumerate(lines) if "o" in line
+        ]
+        # Log scale spaces the three decades evenly.
+        assert len(rows) == 3
+        assert rows[1] - rows[0] == rows[2] - rows[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            xy_plot({})
+        with pytest.raises(ValueError):
+            xy_plot({"s": []})

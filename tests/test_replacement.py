@@ -1,0 +1,176 @@
+"""Tests for replacement policies, especially DRRIP set-dueling."""
+
+import pytest
+
+from repro.cache.replacement import (
+    BrripPolicy,
+    DrripPolicy,
+    LruPolicy,
+    SrripPolicy,
+    make_policy,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "srrip", "brrip", "drrip"])
+    def test_known_policies(self, name):
+        policy = make_policy(name, 4, 4)
+        assert policy.name == name
+
+    def test_case_insensitive(self):
+        assert make_policy("LRU", 4, 4).name == "lru"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("plru", 4, 4)
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        lru = LruPolicy(1, 4)
+        for way in range(4):
+            lru.on_fill(0, way)
+        lru.on_hit(0, 0)  # 0 is now most recent; 1 is LRU.
+        assert lru.victim(0, [0, 1, 2, 3]) == 1
+
+    def test_respects_candidates(self):
+        lru = LruPolicy(1, 4)
+        for way in range(4):
+            lru.on_fill(0, way)
+        assert lru.victim(0, [2, 3]) == 2
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            LruPolicy(1, 4).victim(0, [])
+
+    def test_set_bounds_checked(self):
+        with pytest.raises(IndexError):
+            LruPolicy(2, 4).victim(5, [0])
+
+
+class TestSrrip:
+    def test_insertion_is_long_rereference(self):
+        srrip = SrripPolicy(1, 4)
+        srrip.on_fill(0, 0)
+        assert srrip._rrpv[0][0] == srrip.rrpv_max - 1
+
+    def test_hit_promotes_to_zero(self):
+        srrip = SrripPolicy(1, 4)
+        srrip.on_fill(0, 0)
+        srrip.on_hit(0, 0)
+        assert srrip._rrpv[0][0] == 0
+
+    def test_victim_prefers_distant(self):
+        srrip = SrripPolicy(1, 4)
+        for way in range(4):
+            srrip.on_fill(0, way)
+        srrip.on_hit(0, 1)  # way 1 at rrpv 0.
+        victim = srrip.victim(0, [0, 1, 2, 3])
+        assert victim != 1
+
+    def test_aging_terminates(self):
+        srrip = SrripPolicy(1, 2)
+        srrip.on_hit(0, 0)
+        srrip.on_hit(0, 1)
+        # Both at rrpv 0; victim search must age and return one.
+        assert srrip.victim(0, [0, 1]) in (0, 1)
+
+
+class TestBrrip:
+    def test_mostly_inserts_distant(self):
+        brrip = BrripPolicy(1, 8)
+        distant = 0
+        for i in range(64):
+            brrip.on_fill(0, i % 8)
+            if brrip._rrpv[0][i % 8] == brrip.rrpv_max:
+                distant += 1
+        # 1/32 inserts are "long"; the rest distant.
+        assert distant == 62
+
+    def test_throttle_period(self):
+        brrip = BrripPolicy(1, 4)
+        longs = []
+        for i in range(1, 65):
+            brrip.on_fill(0, 0)
+            if brrip._rrpv[0][0] == brrip.rrpv_max - 1:
+                longs.append(i)
+        assert longs == [32, 64]
+
+
+class TestDrripSetDueling:
+    def test_leader_roles(self):
+        drrip = DrripPolicy(64, 4, leader_period=32)
+        assert drrip.set_role(0) == "srrip"
+        assert drrip.set_role(16) == "brrip"
+        assert drrip.set_role(5) == "follower"
+        assert drrip.set_role(32) == "srrip"
+
+    def test_psel_starts_midpoint(self):
+        drrip = DrripPolicy(64, 4, psel_bits=10)
+        assert drrip.psel == 511
+
+    def test_srrip_leader_misses_push_toward_brrip(self):
+        drrip = DrripPolicy(64, 4)
+        start = drrip.psel
+        for _ in range(10):
+            drrip.on_miss(0)  # srrip leader set
+        assert drrip.psel == start + 10
+        assert drrip.follower_policy == "brrip"
+
+    def test_brrip_leader_misses_push_toward_srrip(self):
+        drrip = DrripPolicy(64, 4)
+        for _ in range(10):
+            drrip.on_miss(16)  # brrip leader set
+        assert drrip.follower_policy == "srrip"
+
+    def test_follower_misses_do_not_move_psel(self):
+        drrip = DrripPolicy(64, 4)
+        start = drrip.psel
+        drrip.on_miss(3)
+        assert drrip.psel == start
+
+    def test_psel_saturates(self):
+        drrip = DrripPolicy(64, 4, psel_bits=4)
+        for _ in range(100):
+            drrip.on_miss(0)
+        assert drrip.psel == 15
+        for _ in range(100):
+            drrip.on_miss(16)
+        assert drrip.psel == 0
+
+    def test_follower_insertion_tracks_psel(self):
+        drrip = DrripPolicy(64, 4)
+        # Force BRRIP mode.
+        for _ in range(600):
+            drrip.on_miss(0)
+        drrip.on_fill(3, 0)
+        assert drrip._rrpv[3][0] == drrip.rrpv_max  # distant (brrip)
+        # Force SRRIP mode.
+        for _ in range(1200):
+            drrip.on_miss(16)
+        drrip.on_fill(3, 1)
+        assert drrip._rrpv[3][1] == drrip.rrpv_max - 1
+
+    def test_leader_sets_use_fixed_policy(self):
+        drrip = DrripPolicy(64, 4)
+        # Regardless of PSEL, srrip leaders insert long.
+        for _ in range(600):
+            drrip.on_miss(0)  # push PSEL to brrip side
+        drrip.on_fill(0, 0)
+        assert drrip._rrpv[0][0] == drrip.rrpv_max - 1
+
+    def test_shared_psel_is_the_leakage_channel(self):
+        """Two 'partitions' share one policy object: one tenant's misses
+        flip the other's insertion behaviour — Fig. 12's channel."""
+        drrip = DrripPolicy(64, 4)
+        # Tenant A (touching srrip leader sets) drives PSEL to BRRIP.
+        for _ in range(600):
+            drrip.on_miss(0)
+        # Tenant B's follower-set fills are now bimodal, through no
+        # action of its own.
+        drrip.on_fill(7, 2)
+        assert drrip._rrpv[7][2] == drrip.rrpv_max
+
+    def test_leader_period_validation(self):
+        with pytest.raises(ValueError):
+            DrripPolicy(64, 4, leader_period=1)

@@ -1,0 +1,95 @@
+"""Tests for the JumanjiRuntime reconfiguration loop."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.designs import make_design
+from repro.core.runtime import (
+    JumanjiRuntime,
+    PLACEMENT_OVERHEAD_FRACTION,
+)
+from repro.model.workload import make_default_workload
+
+
+def make_runtime(design_name="Jumanji", **kwargs):
+    workload = make_default_workload(["xapian"], mix_seed=0,
+                                     load="high")
+    design = make_design(design_name)
+    runtime = JumanjiRuntime(
+        design,
+        workload.config,
+        context_builder=lambda sizes: workload.build_context(
+            sizes
+            if design.uses_feedback
+            else (
+                {a: 2.5 for a in workload.lc_apps}
+                if design_name == "Static"
+                else {}
+            )
+        ),
+        **kwargs,
+    )
+    for app in workload.lc_apps:
+        runtime.register_lc_app(app, deadline_cycles=1e7)
+    return runtime, workload
+
+
+class TestReconfigure:
+    def test_produces_valid_allocation(self):
+        runtime, workload = make_runtime()
+        record = runtime.reconfigure()
+        record.allocation.validate()
+        assert record.epoch == 0
+        assert runtime.epoch == 1
+
+    def test_history_accumulates(self):
+        runtime, _ = make_runtime()
+        runtime.reconfigure()
+        runtime.reconfigure()
+        assert [r.epoch for r in runtime.history] == [0, 1]
+
+    def test_lat_sizes_follow_controller(self):
+        runtime, workload = make_runtime()
+        app = workload.lc_apps[0]
+        first = runtime.lat_sizes()[app]
+        # Fast completions -> shrink at window boundary.
+        for _ in range(25):
+            runtime.report_latency(app, 1e5)
+        runtime.reconfigure()
+        assert runtime.lat_sizes()[app] < first
+
+    def test_feedbackless_designs_have_no_lat_sizes(self):
+        runtime, _ = make_runtime("Jigsaw")
+        assert runtime.lat_sizes() == {}
+
+    def test_descriptor_updates_tracked(self):
+        runtime, _ = make_runtime()
+        runtime.reconfigure()
+        second = runtime.reconfigure()
+        # Identical placements -> no invalidations expected; the count
+        # is non-negative either way.
+        assert second.invalidated_lines >= 0
+
+    def test_report_tail_path(self):
+        runtime, workload = make_runtime()
+        app = workload.lc_apps[0]
+        runtime.report_tail(app, 2e7)  # above deadline -> panic/grow
+        assert runtime.lat_sizes()[app] >= 2.5
+
+
+class TestOverhead:
+    def test_fraction_matches_paper(self):
+        # 11.9 Mcycles / (20 cores x 266 Mcycles) = 0.22%.
+        assert PLACEMENT_OVERHEAD_FRACTION == pytest.approx(
+            0.0022, abs=2e-4
+        )
+
+    def test_static_pays_nothing(self):
+        runtime, _ = make_runtime("Static")
+        assert runtime.batch_overhead_factor == 1.0
+
+    def test_dynamic_designs_pay(self):
+        runtime, _ = make_runtime("Jumanji")
+        assert runtime.batch_overhead_factor == pytest.approx(
+            1.0 - PLACEMENT_OVERHEAD_FRACTION
+        )

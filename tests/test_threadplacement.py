@@ -1,0 +1,144 @@
+"""Tests for LC thread placement (paper Sec. V-B + deferred extension)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.threadplacement import (
+    contention_aware_lc_threads,
+    placement_contention,
+    spread_lc_threads,
+)
+
+
+class TestSpread:
+    def test_four_apps_take_corners(self):
+        placed = spread_lc_threads(["a", "b", "c", "d"])
+        assert set(placed.values()) == {0, 4, 15, 19}
+
+    def test_single_app_takes_a_corner(self):
+        placed = spread_lc_threads(["solo"])
+        assert placed["solo"] in (0, 4, 15, 19)
+
+    def test_two_apps_maximally_apart(self):
+        placed = spread_lc_threads(["a", "b"])
+        config = SystemConfig()
+        from repro.noc.mesh import MeshNoc
+
+        noc = MeshNoc(config)
+        tiles = list(placed.values())
+        assert noc.hops(tiles[0], tiles[1]) == 7  # chip diagonal
+
+    def test_respects_occupied(self):
+        placed = spread_lc_threads(["a"], occupied=[0, 4, 15, 19])
+        assert placed["a"] not in (0, 4, 15, 19)
+
+    def test_too_many_apps_rejected(self):
+        with pytest.raises(ValueError):
+            spread_lc_threads(
+                [f"a{i}" for i in range(21)]
+            )
+
+    def test_deterministic(self):
+        assert spread_lc_threads(["a", "b", "c"]) == spread_lc_threads(
+            ["a", "b", "c"]
+        )
+
+
+class TestContentionAware:
+    def test_all_apps_placed_on_distinct_tiles(self):
+        sizes = {"big": 4.0, "mid": 2.0, "small": 0.5}
+        placed = contention_aware_lc_threads(sizes)
+        assert len(set(placed.values())) == 3
+
+    def test_biggest_app_gets_a_corner(self):
+        sizes = {"big": 6.0, "tiny1": 0.2, "tiny2": 0.2}
+        placed = contention_aware_lc_threads(sizes)
+        assert placed["big"] in (0, 4, 15, 19)
+
+    def test_overflow_rejected(self):
+        sizes = {f"a{i}": 1.0 for i in range(25)}
+        with pytest.raises(ValueError):
+            contention_aware_lc_threads(sizes)
+
+
+class TestContentionMetric:
+    def test_dispersed_beats_adjacent(self):
+        """Why 'as far apart as possible': adjacent LC threads overlap
+        reservation regions; corners do not."""
+        sizes = {"a": 2.0, "b": 2.0, "c": 2.0, "d": 2.0}
+        corners = {"a": 0, "b": 4, "c": 15, "d": 19}
+        adjacent = {"a": 6, "b": 7, "c": 11, "d": 12}
+        assert placement_contention(
+            corners, sizes
+        ) < placement_contention(adjacent, sizes)
+
+    def test_zero_for_exclusive_regions(self):
+        sizes = {"a": 1.0, "b": 1.0}
+        placement = {"a": 0, "b": 19}
+        assert placement_contention(placement, sizes) == 0.0
+
+    def test_spread_policy_minimises_contention(self):
+        sizes = {"a": 2.5, "b": 2.5, "c": 2.5, "d": 2.5}
+        spread = spread_lc_threads(list(sizes))
+        clustered = {"a": 0, "b": 1, "c": 5, "d": 6}
+        assert placement_contention(
+            spread, sizes
+        ) <= placement_contention(clustered, sizes)
+
+    def test_weighted_dispersion_helps_heterogeneous(self):
+        """The future-work mapping at least matches naive dispersion
+        when sizes are very uneven."""
+        sizes = {"huge": 6.0, "big": 4.0, "s1": 0.3, "s2": 0.3}
+        naive = spread_lc_threads(sorted(sizes))
+        aware = contention_aware_lc_threads(sizes)
+        assert placement_contention(
+            aware, sizes
+        ) <= placement_contention(naive, sizes) + 1e-9
+
+
+class TestEpochCyclesParameter:
+    def test_shorter_epochs_do_not_help(self):
+        """Paper Sec. IV-B: 'More frequent reconfigurations do not
+        improve results.'"""
+        from repro.config import RECONFIG_INTERVAL_CYCLES
+        from repro.core.designs import make_design
+        from repro.metrics.speedup import weighted_speedup
+        from repro.model.system import SystemModel
+        from repro.model.workload import make_default_workload
+
+        workload = make_default_workload(
+            ["xapian"], mix_seed=0, load="high"
+        )
+        results = {}
+        for label, cycles, epochs in (
+            ("50ms", RECONFIG_INTERVAL_CYCLES // 2, 24),
+            ("100ms", RECONFIG_INTERVAL_CYCLES, 12),
+        ):
+            model = SystemModel(
+                make_design("Jumanji"), workload, seed=1,
+                epoch_cycles=cycles,
+            )
+            results[label] = model.run(epochs)
+        static = SystemModel(
+            make_design("Static"), workload, seed=1
+        ).run(12)
+        speedups = {
+            label: weighted_speedup(
+                r.batch_ipcs(), static.batch_ipcs()
+            )
+            for label, r in results.items()
+        }
+        # Halving the reconfiguration interval changes speedup by
+        # under a point — more frequent reconfigurations don't help.
+        assert abs(speedups["50ms"] - speedups["100ms"]) < 0.01
+
+    def test_bad_epoch_cycles_rejected(self):
+        from repro.core.designs import make_design
+        from repro.model.system import SystemModel
+        from repro.model.workload import make_default_workload
+
+        workload = make_default_workload(["silo"], mix_seed=0)
+        with pytest.raises(ValueError):
+            SystemModel(
+                make_design("Static"), workload, epoch_cycles=0
+            )

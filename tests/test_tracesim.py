@@ -1,0 +1,212 @@
+"""Tests for the trace-driven cache-hierarchy simulator."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.sim.tracesim import PrivateCache, TraceSimulator
+from repro.vtb.vtb import DESCRIPTOR_ENTRIES, PlacementDescriptor
+from repro.workloads.traces import StreamingTrace, WorkingSetTrace
+
+
+def one_bank_descriptor(bank: int) -> PlacementDescriptor:
+    return PlacementDescriptor([bank] * DESCRIPTOR_ENTRIES)
+
+
+class TestPrivateCache:
+    def test_hit_after_fill(self):
+        cache = PrivateCache(32, 8, 3)
+        assert not cache.access(0x10)
+        assert cache.access(0x10)
+
+    def test_lru_eviction(self):
+        cache = PrivateCache(1, 2, 1)  # tiny: rejected? 1KB, 2 ways
+        # 1 KB / 64 B = 16 lines, 2 ways -> 8 sets.
+        s0 = [0, 8, 16]  # three lines in set 0
+        cache.access(s0[0])
+        cache.access(s0[1])
+        cache.access(s0[2])  # evicts s0[0]
+        assert not cache.access(s0[0])
+
+    def test_invalidate(self):
+        cache = PrivateCache(32, 8, 3)
+        cache.access(5)
+        assert cache.invalidate(5)
+        assert not cache.invalidate(5)
+        assert not cache.access(5)
+
+    def test_flush(self):
+        cache = PrivateCache(32, 8, 3)
+        cache.access(1)
+        cache.flush()
+        assert not cache.access(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivateCache(0, 8, 3)
+        with pytest.raises(ValueError):
+            PrivateCache(33, 7, 3)  # 528 lines not divisible by 7
+
+
+class TestTraceSimulator:
+    def make_sim(self, **kwargs):
+        # Small banks for speed.
+        return TraceSimulator(bank_sets=64, **kwargs)
+
+    def test_add_core_validation(self):
+        sim = self.make_sim()
+        sim.add_core(0, StreamingTrace(100), 0, one_bank_descriptor(0))
+        with pytest.raises(ValueError):
+            sim.add_core(
+                0, StreamingTrace(100), 1, one_bank_descriptor(0)
+            )
+        with pytest.raises(ValueError):
+            sim.add_core(
+                99, StreamingTrace(100), 2, one_bank_descriptor(0)
+            )
+
+    def test_l1_filters_hot_lines(self):
+        sim = self.make_sim()
+        # Working set fits in L1: after warmup, no LLC accesses.
+        sim.add_core(
+            0, WorkingSetTrace(64, seed=1), 0, one_bank_descriptor(0)
+        )
+        sim.run(2000)
+        stats = sim.stats()[0]
+        assert stats.llc_accesses < 0.2 * stats.accesses
+
+    def test_streaming_reaches_memory(self):
+        sim = self.make_sim()
+        sim.add_core(
+            0, StreamingTrace(1_000_000), 0, one_bank_descriptor(0)
+        )
+        stats = sim.run(2000)[0]
+        # Every access is a compulsory miss all the way down.
+        assert stats.mem_accesses == stats.llc_accesses > 0
+        assert stats.llc_miss_rate == pytest.approx(1.0)
+
+    def test_llc_captures_l2_overflow(self):
+        sim = self.make_sim()
+        # Working set ~ 300 KB: misses L2 (128 KB), fits one LLC bank
+        # (64 sets x 32 ways x 64 B = 128 KB)? Use two banks.
+        desc = PlacementDescriptor(
+            [0, 1] * (DESCRIPTOR_ENTRIES // 2)
+        )
+        sim.add_core(0, WorkingSetTrace(4000, seed=2), 0, desc)
+        sim.run(30_000)
+        stats = sim.stats()[0]
+        assert stats.llc_accesses > 0
+        assert stats.llc_hits > 0.3 * stats.llc_accesses
+
+    def test_placement_controls_banks(self):
+        sim = self.make_sim()
+        sim.add_core(
+            0, StreamingTrace(100_000), 0, one_bank_descriptor(7)
+        )
+        sim.run(500)
+        assert sim.banks[7].misses > 0
+        assert all(
+            sim.banks[b].misses == 0 for b in range(20) if b != 7
+        )
+
+    def test_noc_hops_reflect_placement(self):
+        sim = self.make_sim()
+        sim.add_core(
+            0, StreamingTrace(100_000), 0, one_bank_descriptor(0)
+        )
+        sim.add_core(
+            1, StreamingTrace(100_000, base_line=10**7), 1,
+            one_bank_descriptor(19),
+        )
+        sim.run(500)
+        stats = sim.stats()
+        # Core 0's data is local (hops only to memory); core 1's data is
+        # across the chip.
+        assert stats[1].avg_noc_hops > stats[0].avg_noc_hops
+
+    def test_far_placement_has_higher_latency(self):
+        sim = self.make_sim()
+        sim.add_core(
+            0, StreamingTrace(100_000), 0, one_bank_descriptor(0)
+        )
+        sim.add_core(
+            5, StreamingTrace(100_000, base_line=10**7), 1,
+            one_bank_descriptor(0),
+        )
+        sim.run(500)
+        stats = sim.stats()
+        # Core 5 goes to bank 0 (1 hop); core 0 is local.
+        assert stats[5].avg_latency > stats[0].avg_latency
+
+    def test_update_placement_invalidates_moved_lines(self):
+        sim = self.make_sim()
+        sim.add_core(
+            0, WorkingSetTrace(3000, seed=3), 0, one_bank_descriptor(2)
+        )
+        sim.run(5000)
+        resident = sim.banks[2].occupancy(0)
+        assert resident > 0
+        invalidated = sim.update_placement(0, one_bank_descriptor(3))
+        assert invalidated == resident
+        assert sim.banks[2].occupancy(0) == 0
+
+    def test_update_placement_same_descriptor_no_invalidation(self):
+        sim = self.make_sim()
+        desc = one_bank_descriptor(2)
+        sim.add_core(0, WorkingSetTrace(3000, seed=3), 0, desc)
+        sim.run(1000)
+        assert sim.update_placement(0, desc) == 0
+
+    def test_partition_quotas_apply(self):
+        sim = self.make_sim()
+        sim.add_core(
+            0, WorkingSetTrace(50_000, seed=4), 0,
+            one_bank_descriptor(0), partition="p0",
+        )
+        sim.set_partition_quota(0, "p0", 4)
+        sim.run(20_000)
+        # p0 is limited to 4 of 32 ways.
+        assert sim.banks[0].occupancy("p0") <= 4 * 64
+
+    def test_bank_residents_reports_isolation(self):
+        sim = self.make_sim()
+        sim.add_core(
+            0, StreamingTrace(10_000), 0, one_bank_descriptor(0),
+            partition="vm0",
+        )
+        sim.add_core(
+            1, StreamingTrace(10_000, base_line=10**7), 1,
+            one_bank_descriptor(1), partition="vm1",
+        )
+        sim.run(500)
+        residents = sim.bank_residents()
+        assert residents[0] == {"vm0"}
+        assert residents[1] == {"vm1"}
+
+    def test_run_validation(self):
+        sim = self.make_sim()
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+
+class TestMissCurveValidation:
+    """The trace-driven simulator agrees with analytic expectations."""
+
+    def test_working_set_hit_rate_vs_capacity(self):
+        """A working set that fits in the allocated banks mostly hits;
+        one that exceeds them mostly misses."""
+        results = {}
+        for ws_lines in (3000, 16_000):
+            sim = TraceSimulator(bank_sets=64)
+            # Two banks: 2 x 64 sets x 32 ways = 4096 lines of LLC,
+            # double the 2048-line L2 — so a 3000-line working set
+            # overflows L2 but fits the LLC, while 16000 lines fit
+            # neither.
+            entries = [i % 2 for i in range(DESCRIPTOR_ENTRIES)]
+            sim.add_core(
+                0, WorkingSetTrace(ws_lines, seed=5), 0,
+                PlacementDescriptor(entries),
+            )
+            sim.run(40_000)
+            results[ws_lines] = sim.stats()[0].llc_miss_rate
+        assert results[3000] < 0.5
+        assert results[16_000] > 0.6

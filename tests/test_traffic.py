@@ -1,0 +1,116 @@
+"""Tests for the NoC traffic/contention model."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.allocation import Allocation
+from repro.noc.traffic import NocTrafficModel
+
+
+@pytest.fixture
+def model():
+    return NocTrafficModel(SystemConfig())
+
+
+class TestRouting:
+    def test_same_tile_empty_route(self, model):
+        assert model.route(7, 7) == []
+
+    def test_x_then_y(self, model):
+        # 0 (0,0) -> 11 (1,2): x to col 1, then y down two rows.
+        route = model.route(0, 11)
+        assert route == [(0, 1), (1, 6), (6, 11)]
+
+    def test_route_length_is_hop_count(self, model):
+        for src, dst in [(0, 19), (3, 12), (15, 4)]:
+            assert len(model.route(src, dst)) == model.noc.hops(
+                src, dst
+            )
+
+    def test_adjacent_links_only(self, model):
+        for link in model.route(0, 19):
+            assert model.noc.hops(*link) == 1
+
+
+class TestLoads:
+    def test_flow_accumulates_on_route(self, model):
+        model.add_flow(0, 2, 0.5)
+        loads = {l.link: l.flits_per_cycle for l in model.link_loads()}
+        assert loads[(0, 1)] == pytest.approx(0.5)
+        assert loads[(1, 2)] == pytest.approx(0.5)
+
+    def test_flows_sum(self, model):
+        model.add_flow(0, 1, 0.3)
+        model.add_flow(0, 2, 0.2)
+        loads = {l.link: l.flits_per_cycle for l in model.link_loads()}
+        assert loads[(0, 1)] == pytest.approx(0.5)
+
+    def test_negative_flow_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_flow(0, 1, -0.1)
+
+    def test_max_utilization_empty(self, model):
+        assert model.max_utilization() == 0.0
+
+    def test_utilization_saturates(self, model):
+        model.add_flow(0, 1, 5.0)
+        assert model.max_utilization() == pytest.approx(0.999)
+
+    def test_reset(self, model):
+        model.add_flow(0, 1, 0.5)
+        model.reset()
+        assert model.link_loads() == []
+
+
+class TestContendedLatency:
+    def test_unloaded_matches_base(self, model):
+        base = model.noc.latency(0, 2)
+        assert model.contended_latency(0, 2) == pytest.approx(base)
+
+    def test_load_inflates(self, model):
+        base = model.contended_latency(0, 2)
+        model.add_flow(0, 2, 0.5)
+        assert model.contended_latency(0, 2) > base
+
+    def test_same_tile_zero(self, model):
+        assert model.contended_latency(4, 4) == 0.0
+
+
+class TestAllocationTraffic:
+    def test_local_allocation_generates_no_traffic(self, model):
+        alloc = Allocation(SystemConfig())
+        alloc.add(0, "a", 1.0)
+        model.add_allocation_traffic(
+            alloc, {"a": 0}, {"a": 0.02}
+        )
+        assert model.max_utilization() == 0.0
+
+    def test_remote_allocation_loads_links(self, model):
+        alloc = Allocation(SystemConfig())
+        alloc.add(1, "a", 1.0)
+        model.add_allocation_traffic(
+            alloc, {"a": 0}, {"a": 0.02}
+        )
+        assert model.max_utilization() > 0.0
+
+    def test_evaluation_regime_is_low_utilisation(self, model):
+        """Sanity check backing the fixed-latency NoC model: a Jumanji
+        placement at realistic access rates keeps links well under
+        saturation."""
+        from repro.core.jumanji import jumanji_placer
+        from repro.model.workload import make_default_workload
+
+        workload = make_default_workload(["xapian"], mix_seed=0,
+                                         load="high")
+        ctx = workload.build_context(
+            {a: 2.0 for a in workload.lc_apps}
+        )
+        alloc = jumanji_placer(ctx)
+        tiles = {a: ctx.tile_of(a) for a in ctx.apps}
+        # Accesses/cycle from the context's intensity (per kilocycle).
+        rates = {
+            a: info.intensity / 1000.0
+            for a, info in ctx.apps.items()
+        }
+        model.add_allocation_traffic(alloc, tiles, rates)
+        assert model.max_utilization() < 0.5

@@ -1,0 +1,90 @@
+"""Tests for UMON utility monitors."""
+
+import pytest
+
+from repro.cache.umon import Umon
+from repro.workloads.traces import WorkingSetTrace, ZipfTrace
+
+
+class TestSampling:
+    def test_sample_period_one_samples_everything(self):
+        umon = Umon(sample_period=1)
+        for i in range(100):
+            umon.access(i)
+        assert umon.sampled_accesses == 100
+
+    def test_sampling_rate_approximate(self):
+        umon = Umon(sample_period=10)
+        for i in range(20_000):
+            umon.access(i)
+        rate = umon.sampled_accesses / umon.total_accesses
+        assert 0.05 < rate < 0.2
+
+    def test_deterministic(self):
+        a, b = Umon(sample_period=4), Umon(sample_period=4)
+        for i in range(1000):
+            a.access(i * 7)
+            b.access(i * 7)
+        assert a.sampled_accesses == b.sampled_accesses
+        assert (a.hit_counts == b.hit_counts).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Umon(num_ways=0)
+        with pytest.raises(ValueError):
+            Umon(sample_period=0)
+
+
+class TestMissCurves:
+    def test_monotone_non_increasing(self):
+        umon = Umon(num_ways=16, num_sets=16, sample_period=1)
+        trace = ZipfTrace(2000, alpha=1.0, seed=1)
+        for _ in range(30_000):
+            umon.access(trace.next_line())
+        curve = umon.miss_curve()
+        vals = curve.values
+        assert all(a >= b - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_working_set_knee(self):
+        # Working set of ~64 lines over 16 monitored sets x 16 ways:
+        # misses should collapse once ~4 ways are monitored.
+        umon = Umon(num_ways=16, num_sets=16, sample_period=1)
+        trace = WorkingSetTrace(64, seed=2)
+        for _ in range(40_000):
+            umon.access(trace.next_line())
+        curve = umon.miss_curve()
+        # At full ways nearly all sampled accesses hit.
+        assert curve.values[-1] < 0.15 * curve.values[0]
+
+    def test_streaming_never_hits(self):
+        umon = Umon(num_ways=8, num_sets=8, sample_period=1)
+        for i in range(50_000):
+            umon.access(i)  # never reused
+        curve = umon.miss_curve()
+        assert curve.values[-1] == pytest.approx(curve.values[0])
+
+    def test_mpki_normalisation(self):
+        umon = Umon(num_ways=4, num_sets=4, sample_period=1)
+        for i in range(1000):
+            umon.access(i)
+        curve = umon.miss_curve(kilo_instructions=10.0)
+        assert curve.values[0] == pytest.approx(100.0)
+
+    def test_mpki_requires_positive(self):
+        umon = Umon(sample_period=1)
+        umon.access(1)
+        umon.access(2)
+        with pytest.raises(ValueError):
+            umon.miss_curve(kilo_instructions=0)
+
+    def test_reset_clears_counters_keeps_tags(self):
+        umon = Umon(sample_period=1)
+        for i in range(100):
+            umon.access(i)
+        umon.reset()
+        assert umon.sampled_accesses == 0
+        assert umon.miss_count == 0
+        # Warm tags: re-accessing the same lines now yields hits.
+        for i in range(100):
+            umon.access(i)
+        assert umon.hit_counts.sum() > 0

@@ -1,0 +1,112 @@
+"""Tests for the trace-vs-analytic validation layer."""
+
+import pytest
+
+from repro.model.validation import (
+    measure_umon_curve,
+    placement_agreement,
+    umon_matches_trace,
+)
+from repro.workloads.traces import (
+    StreamingTrace,
+    WorkingSetTrace,
+    ZipfTrace,
+)
+
+
+class TestMeasureUmonCurve:
+    def test_streaming_curve_is_flat(self):
+        curve = measure_umon_curve(StreamingTrace(10**6), 20_000)
+        assert curve.values[-1] == pytest.approx(curve.values[0])
+
+    def test_working_set_curve_collapses(self):
+        curve = measure_umon_curve(
+            WorkingSetTrace(800, seed=1), 40_000
+        )
+        assert curve.values[-1] < 0.2 * curve.values[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_umon_curve(StreamingTrace(10), 0)
+
+
+class TestUmonMatchesTrace:
+    def test_streaming_agreement(self):
+        report = umon_matches_trace(
+            lambda: StreamingTrace(10**6), accesses=20_000
+        )
+        # Both should be ~100% misses.
+        assert report.umon_miss_fraction > 0.95
+        assert report.trace_miss_rate > 0.95
+        assert report.absolute_error < 0.05
+
+    def test_zipf_agreement_within_tolerance(self):
+        report = umon_matches_trace(
+            lambda: ZipfTrace(6000, alpha=0.8, seed=7),
+            accesses=40_000,
+            allocation_ways=16,
+        )
+        # Same raw stream for monitor and cache: tight agreement.
+        assert report.absolute_error < 0.05
+
+
+class TestPlacementAgreement:
+    def test_capacity_monotonicity(self):
+        """More banks -> lower miss rate for the same working set."""
+        rates_small = placement_agreement(
+            {"app": WorkingSetTrace(6000, seed=2)},
+            {"app": [0]},
+            accesses_per_core=25_000,
+        )
+        rates_large = placement_agreement(
+            {"app": WorkingSetTrace(6000, seed=2)},
+            {"app": [0, 1, 2, 3]},
+            accesses_per_core=25_000,
+        )
+        assert rates_large["app"] < rates_small["app"]
+
+    def test_isolated_placements_do_not_interfere(self):
+        """Two thrashing apps in disjoint banks behave as if alone."""
+        alone = placement_agreement(
+            {"a": WorkingSetTrace(3000, seed=3)},
+            {"a": [0, 1]},
+            accesses_per_core=25_000,
+        )["a"]
+        together = placement_agreement(
+            {
+                "a": WorkingSetTrace(3000, seed=3),
+                "b": WorkingSetTrace(50_000, seed=4,
+                                     base_line=10**7),
+            },
+            {"a": [0, 1], "b": [2, 3]},
+            accesses_per_core=25_000,
+        )["a"]
+        assert together == pytest.approx(alone, abs=0.05)
+
+    def test_shared_bank_interference_visible(self):
+        """The same thrasher placed *into* the victim's banks hurts."""
+        isolated = placement_agreement(
+            {
+                "a": WorkingSetTrace(3000, seed=3),
+                "b": WorkingSetTrace(50_000, seed=4,
+                                     base_line=10**7),
+            },
+            {"a": [0, 1], "b": [2, 3]},
+            accesses_per_core=25_000,
+        )["a"]
+        shared = placement_agreement(
+            {
+                "a": WorkingSetTrace(3000, seed=3),
+                "b": WorkingSetTrace(50_000, seed=4,
+                                     base_line=10**7),
+            },
+            {"a": [0, 1], "b": [0, 1]},
+            accesses_per_core=25_000,
+        )["a"]
+        assert shared > isolated
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ValueError):
+            placement_agreement(
+                {"a": StreamingTrace(100)}, {"a": []}
+            )

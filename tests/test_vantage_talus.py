@@ -1,0 +1,148 @@
+"""Tests for Vantage partitioning and Talus cliff removal."""
+
+import pytest
+
+from repro.cache.misscurve import MissCurve
+from repro.cache.talus import hull_vertices, talus_curve, talus_split
+from repro.cache.vantage import VantageBank
+from repro.workloads.traces import WorkingSetTrace
+
+
+class TestVantageBasics:
+    def test_hit_after_fill(self):
+        bank = VantageBank(64)
+        assert not bank.access(1)
+        assert bank.access(1)
+
+    def test_capacity_respected(self):
+        bank = VantageBank(16)
+        for i in range(32):
+            bank.access(i)
+        resident = sum(1 for i in range(32) if bank.contains(i))
+        assert resident == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VantageBank(0)
+        with pytest.raises(ValueError):
+            VantageBank(16, unmanaged_fraction=0.6)
+
+    def test_target_bounds(self):
+        bank = VantageBank(100, unmanaged_fraction=0.1)
+        bank.set_target("a", 50)
+        with pytest.raises(ValueError):
+            bank.set_target("b", 45)  # 95 > 90 managed lines
+        bank.set_target("a", 0)
+        assert bank.target("a") == 0
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            VantageBank(16).set_target("a", -1)
+
+
+class TestVantagePartitioning:
+    def test_sizes_track_targets(self):
+        bank = VantageBank(200, unmanaged_fraction=0.05)
+        bank.set_target("a", 140)
+        bank.set_target("b", 40)
+        ta = WorkingSetTrace(400, seed=1)
+        tb = WorkingSetTrace(400, seed=2, base_line=10_000)
+        for _ in range(6000):
+            bank.access(ta.next_line(), partition="a")
+            bank.access(tb.next_line(), partition="b")
+        # Occupancies settle near targets (within the unmanaged slack).
+        assert abs(bank.occupancy("a") - 140) <= 25
+        assert abs(bank.occupancy("b") - 40) <= 25
+
+    def test_fine_grained_targets(self):
+        """Vantage's point: targets at any granularity, far more
+        partitions than a way-partitioned bank could support."""
+        bank = VantageBank(330, unmanaged_fraction=0.05)
+        for i in range(10):
+            bank.set_target(f"p{i}", 31)  # 10 partitions of 31 lines
+        traces = [
+            WorkingSetTrace(100, seed=i, base_line=100_000 * i)
+            for i in range(10)
+        ]
+        for _ in range(3000):
+            for i, trace in enumerate(traces):
+                bank.access(trace.next_line(), partition=f"p{i}")
+        for i in range(10):
+            assert abs(bank.occupancy(f"p{i}") - 31) <= 12
+
+    def test_demotion_counts(self):
+        bank = VantageBank(50)
+        bank.set_target("small", 10)
+        trace = WorkingSetTrace(200, seed=3)
+        filler = WorkingSetTrace(60, seed=4, base_line=50_000)
+        for _ in range(2000):
+            bank.access(trace.next_line(), partition="small")
+            bank.access(filler.next_line(), partition="big")
+        assert bank.demotions > 0
+
+    def test_invalidate_partition(self):
+        bank = VantageBank(32)
+        bank.access(1, partition="x")
+        bank.access(2, partition="y")
+        assert bank.invalidate_partition("x") == 1
+        assert not bank.contains(1)
+        assert bank.contains(2)
+
+    def test_resident_partitions(self):
+        bank = VantageBank(32)
+        bank.access(1, partition="x")
+        assert bank.resident_partitions() == {"x"}
+
+
+class TestTalus:
+    def cliff_curve(self):
+        return MissCurve([10.0, 10.0, 10.0, 10.0, 2.0, 2.0, 2.0])
+
+    def test_hull_vertices_of_cliff(self):
+        vertices = hull_vertices(self.cliff_curve())
+        xs = [v[0] for v in vertices]
+        assert xs[0] == 0.0
+        assert 4.0 in xs
+        assert xs[-1] == 6.0
+
+    def test_split_on_vertex_is_trivial(self):
+        split = talus_split(self.cliff_curve(), 4.0)
+        assert split.rho == 1.0
+        assert split.expected_misses == pytest.approx(2.0)
+
+    def test_split_interpolates_cliff(self):
+        split = talus_split(self.cliff_curve(), 2.0)
+        # Halfway down the chord from (0, 10) to (4, 2): 6.0 misses —
+        # far below the raw curve's 10.0 at 2 units.
+        assert split.expected_misses == pytest.approx(6.0)
+        assert split.size2 <= 2.0 <= split.size1
+        assert 0.0 < split.rho < 1.0
+
+    def test_split_size_weighted_consistency(self):
+        curve = self.cliff_curve()
+        split = talus_split(curve, 3.0)
+        blended = (
+            split.rho * split.size1 + (1 - split.rho) * split.size2
+        )
+        assert blended == pytest.approx(3.0)
+
+    def test_expected_misses_match_hull(self):
+        curve = self.cliff_curve()
+        hull = curve.convex_hull()
+        for size in (0.5, 1.0, 2.5, 3.5, 5.0):
+            split = talus_split(curve, size)
+            assert split.expected_misses == pytest.approx(
+                hull.misses_at(size), abs=1e-9
+            )
+
+    def test_talus_curve_is_hull(self):
+        curve = self.cliff_curve()
+        assert talus_curve(curve) == curve.convex_hull()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            talus_split(self.cliff_curve(), -1.0)
+
+    def test_oversize_clamps(self):
+        split = talus_split(self.cliff_curve(), 100.0)
+        assert split.size == 6.0

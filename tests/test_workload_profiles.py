@@ -1,0 +1,181 @@
+"""Tests for the SPEC-like batch and TailBench-like LC profiles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CORE_FREQ_HZ
+from repro.workloads.spec import (
+    SPEC_PROFILES,
+    get_profile,
+    profile_names,
+)
+from repro.workloads.tailbench import (
+    LC_PROFILES,
+    REFERENCE_ALLOC_MB,
+    REFERENCE_UTILIZATION,
+    get_lc_profile,
+    lc_profile_names,
+)
+
+
+class TestSpecProfiles:
+    def test_sixteen_profiles(self):
+        assert len(SPEC_PROFILES) == 16
+
+    def test_names_match_paper_footnote(self):
+        codes = {name.split(".")[0] for name in profile_names()}
+        assert codes == {
+            "401", "403", "410", "429", "433", "434", "436", "437",
+            "454", "459", "462", "470", "471", "473", "482", "483",
+        }
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("999.nonesuch")
+
+    @pytest.mark.parametrize("name", profile_names())
+    def test_mpki_monotone_non_increasing(self, name):
+        profile = get_profile(name)
+        sizes = [i * 0.25 for i in range(81)]
+        values = [profile.mpki(s) for s in sizes]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("name", profile_names())
+    def test_mpki_bounded_by_profile(self, name):
+        profile = get_profile(name)
+        for s in (0.0, 1.0, 5.0, 20.0):
+            v = profile.mpki(s)
+            assert profile.mpki_min - 1e-9 <= v <= profile.mpki_max + 1e-9
+
+    def test_flat_profiles_are_flat(self):
+        milc = get_profile("433.milc")
+        assert milc.mpki(0.0) == milc.mpki(20.0)
+
+    def test_cliff_drops_around_knee(self):
+        mcf = get_profile("429.mcf")
+        before = mcf.mpki(mcf.knee_mb - 1.0)
+        after = mcf.mpki(mcf.knee_mb + 1.0)
+        assert before > 2 * after
+
+    def test_streaming_is_nearly_insensitive(self):
+        lbm = get_profile("470.lbm")
+        assert lbm.mpki(0.0) - lbm.mpki(4.0) < 0.3 * (
+            lbm.mpki_max - lbm.mpki_min + 1e-9
+        ) + 1.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            get_profile("403.gcc").mpki(-1.0)
+
+    def test_miss_curve_sampling(self):
+        curve = get_profile("403.gcc").miss_curve(41, 0.5)
+        assert curve.num_points == 41
+        assert curve.misses_at(2.0) == pytest.approx(
+            get_profile("403.gcc").mpki(2.0), rel=1e-6
+        )
+
+    def test_shape_validation(self):
+        from repro.workloads.spec import BatchAppProfile
+
+        with pytest.raises(ValueError):
+            BatchAppProfile("x", "weird", 1.0, 10, 5, 1, 2)
+        with pytest.raises(ValueError):
+            BatchAppProfile("x", "flat", 1.0, 10, 1, 5, 2)
+        with pytest.raises(ValueError):
+            BatchAppProfile("x", "flat", 1.0, 10, 5, 1, 0)
+
+
+class TestLcProfiles:
+    def test_five_profiles_in_paper_order(self):
+        assert lc_profile_names() == (
+            "masstree", "xapian", "img-dnn", "silo", "moses",
+        )
+        assert set(LC_PROFILES) == set(lc_profile_names())
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            get_lc_profile("memcached")
+
+    @pytest.mark.parametrize("name", lc_profile_names())
+    def test_calibration_identity(self, name):
+        """At the reference allocation and calibration NoC distance, the
+        mean service time gives exactly the reference utilisation."""
+        profile = get_lc_profile(name)
+        util = profile.utilization(
+            profile.qps.high_qps, REFERENCE_ALLOC_MB
+        )
+        assert util == pytest.approx(REFERENCE_UTILIZATION, rel=1e-9)
+
+    @pytest.mark.parametrize("name", lc_profile_names())
+    def test_low_load_utilisation_is_light(self, name):
+        profile = get_lc_profile(name)
+        util = profile.utilization(
+            profile.qps.low_qps, REFERENCE_ALLOC_MB
+        )
+        assert util < 0.35
+
+    @pytest.mark.parametrize("name", lc_profile_names())
+    def test_service_decreases_with_allocation(self, name):
+        profile = get_lc_profile(name)
+        s_small = profile.mean_service_cycles(0.5)
+        s_big = profile.mean_service_cycles(8.0)
+        assert s_small > s_big
+
+    @pytest.mark.parametrize("name", lc_profile_names())
+    def test_service_decreases_with_proximity(self, name):
+        profile = get_lc_profile(name)
+        far = profile.mean_service_cycles(2.5, noc_rtt=20.0)
+        near = profile.mean_service_cycles(2.5, noc_rtt=4.0)
+        assert near < far
+
+    @pytest.mark.parametrize("name", lc_profile_names())
+    def test_misses_per_query_monotone(self, name):
+        profile = get_lc_profile(name)
+        sizes = [i * 0.25 for i in range(41)]
+        vals = [profile.misses_per_query(s) for s in sizes]
+        assert all(a >= b - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_small_allocation_unstable_at_high_load(self):
+        """The Fig. 8 mechanism: a tiny allocation pushes utilisation
+        past 1 at high load."""
+        profile = get_lc_profile("xapian")
+        util = profile.utilization(profile.qps.high_qps, 0.25)
+        assert util > 1.0
+
+    def test_qps_at(self):
+        profile = get_lc_profile("xapian")
+        assert profile.qps_at("low") == 130
+        assert profile.qps_at("high") == 570
+        with pytest.raises(ValueError):
+            profile.qps_at("medium")
+
+    def test_stall_fraction_validation(self):
+        from repro.config import QPS_TABLE
+        from repro.workloads.tailbench import LatencyCriticalProfile
+
+        with pytest.raises(ValueError):
+            LatencyCriticalProfile(
+                "x", QPS_TABLE["xapian"], 0.7, 0.5, "friendly", 1, 0.1,
+                0.2,
+            )
+        with pytest.raises(ValueError):
+            LatencyCriticalProfile(
+                "x", QPS_TABLE["xapian"], 0.3, 0.2, "bumpy", 1, 0.1, 0.2,
+            )
+
+    @given(st.floats(min_value=0.0, max_value=40.0))
+    @settings(max_examples=60, deadline=None)
+    def test_service_positive_everywhere(self, size):
+        profile = get_lc_profile("moses")
+        assert profile.mean_service_cycles(size) > 0
+
+    def test_service_components_sum_at_reference(self):
+        profile = get_lc_profile("silo")
+        total = (
+            profile.base_cycles
+            + profile.accesses_per_query * (13.0 + 20.0)
+            + profile.misses_per_query(REFERENCE_ALLOC_MB) * 450.0
+        )
+        assert total == pytest.approx(
+            profile.reference_service_cycles, rel=1e-6
+        )
