@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples figures clean
+.PHONY: install test check bench bench-smoke bench-full examples \
+	figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,8 +11,20 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Tier-1 gate: the full test suite plus a bench smoke run.
+check:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
+	$(MAKE) bench-smoke
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Two-mix micro-sweep through the parallel runner (<60 s); writes
+# BENCH_sweeps.json with wall-clock, cells computed vs cache-hit, and
+# speedup vs the serial estimate.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench \
+	  --figures fig13 --mixes 2 --epochs 2
 
 # Paper-scale sweep (40 mixes, 25 epochs) — takes a while.
 bench-full:

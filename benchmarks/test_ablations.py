@@ -15,7 +15,7 @@ import pytest
 
 from repro.cache.misscurve import MissCurve
 from repro.config import ControllerConfig, RECONFIG_INTERVAL_CYCLES
-from repro.experiments.common import run_workload
+from repro.experiments.common import cached_workload_outcome
 from repro.metrics.speedup import weighted_speedup
 from repro.model.system import run_design
 from repro.model.workload import make_default_workload
@@ -60,12 +60,13 @@ def test_ablation_latcrit_proximity(benchmark):
     more space for the same tails."""
 
     def run_both():
-        outcome_j, result_j, baseline = run_workload(
+        # Submitted as runner cells: the Static baseline is a cached
+        # cell shared between the two runs (and with the figure sweeps).
+        outcome_j = cached_workload_outcome(
             "Jumanji", "xapian", "high", 0, epochs=20
         )
-        outcome_a, result_a, _ = run_workload(
-            "Adaptive", "xapian", "high", 0, epochs=20,
-            baseline_ipcs=baseline,
+        outcome_a = cached_workload_outcome(
+            "Adaptive", "xapian", "high", 0, epochs=20
         )
         return outcome_j, outcome_a
 
@@ -88,12 +89,11 @@ def test_ablation_bank_granularity(benchmark):
     security guarantee (paper Fig. 16)."""
 
     def run_both():
-        outcome_j, _r, baseline = run_workload(
+        outcome_j = cached_workload_outcome(
             "Jumanji", "xapian", "high", 0, epochs=15
         )
-        outcome_i, _r2, _b = run_workload(
-            "Jumanji: Insecure", "xapian", "high", 0, epochs=15,
-            baseline_ipcs=baseline,
+        outcome_i = cached_workload_outcome(
+            "Jumanji: Insecure", "xapian", "high", 0, epochs=15
         )
         return outcome_j, outcome_i
 

@@ -1,0 +1,233 @@
+"""``repro bench``: timed sweep benchmarking with a machine-readable report.
+
+Runs the sweep-backed figures (Fig. 13-18) through the parallel runner
+and writes ``BENCH_sweeps.json`` recording, per figure:
+
+* wall-clock seconds,
+* cells computed vs. served from the result cache,
+* the estimated serial cost (sum of per-cell compute durations) and the
+  resulting speedup vs. that serial baseline.
+
+The serial estimate comes from the durations the cache records for
+every cell, so warm runs still report an honest speedup without
+re-running the sweep serially.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from . import __version__
+from .runner import (
+    ResultCache,
+    collecting_stats,
+    code_fingerprint,
+    resolve_jobs,
+)
+
+__all__ = ["BENCH_FIGURES", "run_bench", "add_bench_arguments", "cmd_bench"]
+
+
+def _fig13(mixes: Optional[int], epochs: Optional[int],
+           jobs: Optional[int]) -> None:
+    from .experiments import fig13
+
+    fig13.run(mixes=mixes, epochs=epochs, jobs=jobs)
+
+
+def _fig14(mixes: Optional[int], epochs: Optional[int],
+           jobs: Optional[int]) -> None:
+    from .experiments import fig14
+
+    fig14.run(mixes=mixes, epochs=epochs, jobs=jobs)
+
+
+def _fig15(mixes: Optional[int], epochs: Optional[int],
+           jobs: Optional[int]) -> None:
+    from .experiments import fig15
+
+    fig15.run(mixes=mixes, epochs=epochs, jobs=jobs)
+
+
+def _fig16(mixes: Optional[int], epochs: Optional[int],
+           jobs: Optional[int]) -> None:
+    from .experiments import fig16
+
+    fig16.run(mixes=mixes, epochs=epochs, jobs=jobs)
+
+
+def _fig17(mixes: Optional[int], epochs: Optional[int],
+           jobs: Optional[int]) -> None:
+    from .experiments import fig17
+
+    fig17.run(mixes=mixes, epochs=epochs, jobs=jobs)
+
+
+def _fig18(mixes: Optional[int], epochs: Optional[int],
+           jobs: Optional[int]) -> None:
+    from .experiments import fig18
+
+    fig18.run(mixes=mixes, epochs=epochs, jobs=jobs)
+
+
+#: The sweep-backed figures ``repro bench`` can time.
+BENCH_FIGURES: Dict[str, Callable[..., None]] = {
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "fig17": _fig17,
+    "fig18": _fig18,
+}
+
+
+def run_bench(
+    figures: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    mixes: Optional[int] = None,
+    epochs: Optional[int] = None,
+    cold: bool = False,
+    output: Optional[os.PathLike] = None,
+) -> Dict[str, Any]:
+    """Benchmark the requested figures; returns (and writes) the report.
+
+    With ``cold=True`` the result cache is cleared first, so every cell
+    is recomputed. ``output`` defaults to ``BENCH_sweeps.json`` in the
+    current directory; pass ``output=""``/None-like falsy to skip
+    writing.
+    """
+    figures = list(figures) if figures else list(BENCH_FIGURES)
+    unknown = [f for f in figures if f not in BENCH_FIGURES]
+    if unknown:
+        raise ValueError(
+            f"unknown figures {unknown}; choose from "
+            f"{sorted(BENCH_FIGURES)}"
+        )
+    jobs_resolved = resolve_jobs(jobs)
+    cache = ResultCache()
+    if cold:
+        cache.clear()
+    report: Dict[str, Any] = {
+        "version": __version__,
+        "code_fingerprint": code_fingerprint(),
+        "jobs": jobs_resolved,
+        "mixes": mixes,
+        "epochs": epochs,
+        "cold": cold,
+        "cache_dir": str(cache.directory),
+        "figures": {},
+    }
+    for name in figures:
+        with collecting_stats() as stats:
+            start = time.perf_counter()
+            BENCH_FIGURES[name](mixes=mixes, epochs=epochs, jobs=jobs)
+            wall = time.perf_counter() - start
+        entry = stats.as_dict()
+        # Figure wall-clock includes aggregation outside the runner.
+        entry["wall_seconds"] = wall
+        entry["speedup_vs_serial"] = (
+            entry["serial_seconds_estimate"] / wall
+            if wall > 0
+            else float("inf")
+        )
+        report["figures"][name] = entry
+    totals = {
+        "cells": sum(
+            f["cells"] for f in report["figures"].values()
+        ),
+        "computed": sum(
+            f["computed"] for f in report["figures"].values()
+        ),
+        "cache_hits": sum(
+            f["cache_hits"] for f in report["figures"].values()
+        ),
+        "wall_seconds": sum(
+            f["wall_seconds"] for f in report["figures"].values()
+        ),
+        "serial_seconds_estimate": sum(
+            f["serial_seconds_estimate"]
+            for f in report["figures"].values()
+        ),
+    }
+    totals["cache_hit_rate"] = (
+        totals["cache_hits"] / totals["cells"] if totals["cells"] else 0.0
+    )
+    totals["speedup_vs_serial"] = (
+        totals["serial_seconds_estimate"] / totals["wall_seconds"]
+        if totals["wall_seconds"] > 0
+        else float("inf")
+    )
+    report["total"] = totals
+    if output is None:
+        output = "BENCH_sweeps.json"
+    path = pathlib.Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    report["output"] = str(path)
+    return report
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro bench`` options to a subparser."""
+    parser.add_argument(
+        "--figures",
+        nargs="+",
+        choices=sorted(BENCH_FIGURES),
+        default=None,
+        help="figures to benchmark (default: all sweep figures)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel workers (default: REPRO_JOBS or cpu count)",
+    )
+    parser.add_argument("--mixes", type=int, default=None,
+                        help="batch mixes per workload")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="epochs per run")
+    parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="clear the result cache first (force full recompute)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_sweeps.json",
+        help="report path (default BENCH_sweeps.json)",
+    )
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """CLI entry point for ``repro bench``."""
+    report = run_bench(
+        figures=args.figures,
+        jobs=args.jobs,
+        mixes=args.mixes,
+        epochs=args.epochs,
+        cold=args.cold,
+        output=args.output,
+    )
+    print(
+        f"bench: {len(report['figures'])} figure(s), "
+        f"jobs={report['jobs']}, cache={report['cache_dir']}"
+    )
+    for name, entry in report["figures"].items():
+        print(
+            f"  {name}: {entry['wall_seconds']:.2f}s wall, "
+            f"{entry['computed']} computed + "
+            f"{entry['cache_hits']} cached cells, "
+            f"{entry['speedup_vs_serial']:.1f}x vs serial"
+        )
+    total = report["total"]
+    print(
+        f"  total: {total['wall_seconds']:.2f}s wall, "
+        f"cache hit rate {total['cache_hit_rate']:.0%}, "
+        f"{total['speedup_vs_serial']:.1f}x vs serial"
+    )
+    print(f"wrote {report['output']}")
+    return 0

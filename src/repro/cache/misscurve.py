@@ -106,6 +106,25 @@ class MissCurve:
             self._values[lo] * (1.0 - frac) + self._values[lo + 1] * frac
         )
 
+    def misses_at_many(self, sizes: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`misses_at` over an array of sizes.
+
+        Bit-identical to calling :meth:`misses_at` per element (same
+        IEEE operations in the same order) — the hot loops in
+        :func:`combine_curves` and the Lookahead scans rely on that.
+        """
+        pos = np.asarray(sizes, dtype=float) / self._step
+        if np.any(pos < 0):
+            raise ValueError("allocation size must be non-negative")
+        n = self.num_points
+        saturated = pos >= n - 1
+        lo = pos.astype(np.int64)
+        np.clip(lo, 0, n - 2, out=lo)
+        frac = pos - lo
+        out = self._values[lo] * (1.0 - frac) + self._values[lo + 1] * frac
+        out[saturated] = self._values[-1]
+        return out
+
     def marginal_utility(self, size: float, delta: float) -> float:
         """Misses avoided per unit of cache by growing ``size`` by ``delta``.
 
@@ -227,11 +246,15 @@ def combine_curves(curves: Iterable[MissCurve]) -> MissCurve:
         best_app = -1
         best_util = -1.0
         best_k = 1
+        deltas = np.arange(1, remaining + 1, dtype=float) * step
         for i, curve in enumerate(curve_list):
             base = curve.misses_at(allocs[i])
-            for k in range(1, remaining + 1):
-                delta = k * step
-                util = (base - curve.misses_at(allocs[i] + delta)) / delta
+            # Vectorised horizon scan; the python loop below only does
+            # the sequential tie-break (identical to the scalar code).
+            utils = (
+                base - curve.misses_at_many(allocs[i] + deltas)
+            ) / deltas
+            for k, util in enumerate(utils.tolist(), start=1):
                 if util > best_util + 1e-15:
                     best_util = util
                     best_app = i

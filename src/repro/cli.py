@@ -5,6 +5,7 @@ Commands:
 * ``designs``              — list the available LLC designs
 * ``run``                  — run one design on one workload, print metrics
 * ``figure <name>``        — regenerate one of the paper's figures/tables
+* ``bench``                — time the sweep figures, write BENCH_sweeps.json
 * ``deadline <app>``       — print an LC app's computed deadline
 * ``report``               — assemble results/ into a single SUMMARY.md
 """
@@ -66,6 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("name", choices=_FIGURES)
     fig.add_argument("--mixes", type=int, default=None)
     fig.add_argument("--epochs", type=int, default=None)
+    fig.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel workers for sweep figures "
+             "(default: REPRO_JOBS or cpu count)",
+    )
+
+    from .bench import add_bench_arguments
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the sweep figures, write BENCH_sweeps.json",
+    )
+    add_bench_arguments(bench)
 
     dl = sub.add_parser(
         "deadline", help="print an LC app's computed deadline"
@@ -136,6 +150,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         kwargs["mixes"] = args.mixes
     if args.epochs is not None:
         kwargs["epochs"] = args.epochs
+    if args.jobs is not None and name in (
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18"
+    ):
+        kwargs["jobs"] = args.jobs
     if name == "table2":
         print(E.tables.format_table2())
         return 0
@@ -202,6 +220,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "bench":
+        from .bench import cmd_bench
+
+        return cmd_bench(args)
     if args.command == "deadline":
         return _cmd_deadline(args)
     if args.command == "report":

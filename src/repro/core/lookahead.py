@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..cache.misscurve import MissCurve
 
 __all__ = ["lookahead", "jumanji_lookahead"]
@@ -32,18 +34,21 @@ def _best_step(
     Scans look-ahead horizons of 1..k steps (k limited by ``budget``) and
     returns the horizon with maximal average marginal utility. This is
     the maximal-marginal-utility scan at the heart of UCP Lookahead.
+    The horizon evaluation is vectorised over the curve; the sequential
+    scan below keeps the scalar code's exact tie-breaking.
     """
     max_steps = int(budget / step + 1e-9)
     best_util = -1.0
     best_delta = 0.0
+    if max_steps < 1:
+        return best_util, best_delta
     base = curve.misses_at(current)
-    for k in range(1, max_steps + 1):
-        delta = k * step
-        gain = base - curve.misses_at(current + delta)
-        util = gain / delta
+    deltas = np.arange(1, max_steps + 1, dtype=float) * step
+    utils = (base - curve.misses_at_many(current + deltas)) / deltas
+    for k, util in enumerate(utils.tolist()):
         if util > best_util + 1e-15:
             best_util = util
-            best_delta = delta
+            best_delta = float(deltas[k])
     return best_util, best_delta
 
 
@@ -168,13 +173,13 @@ def jumanji_lookahead(
         best_vm = None
         best_util = -1.0
         best_banks = 0
+        deltas = np.arange(1, remaining + 1, dtype=float) * bank_mb
         for vm in vms:
             cur = batch_mb(vm, banks_of[vm])
             curve = vm_curves[vm]
-            for k in range(1, remaining + 1):
-                delta = k * bank_mb
-                gain = curve.misses_at(cur) - curve.misses_at(cur + delta)
-                util = gain / delta
+            base = curve.misses_at(cur)
+            utils = (base - curve.misses_at_many(cur + deltas)) / deltas
+            for k, util in enumerate(utils.tolist(), start=1):
                 if util > best_util + 1e-15:
                     best_util = util
                     best_vm = vm

@@ -13,6 +13,7 @@ system cycles, charged to batch applications.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -64,10 +65,17 @@ class JumanjiRuntime:
         context_builder: Callable[[Dict[str, float]], PlacementContext],
         controller_config: Optional[ControllerConfig] = None,
         initial_lc_size_mb: float = 2.5,
+        seed: int = 0,
     ):
         self.design = design
         self.system = system
         self._build_context = context_builder
+        # Every random decision the runtime (or a design hook) makes must
+        # draw from this stream, never the global ``random`` module, so
+        # two runtimes with the same seed replay identically regardless
+        # of what else runs in the process.
+        self.seed = seed
+        self.rng = random.Random(seed)
         self.controller = FeedbackController(
             system,
             controller_config,

@@ -15,9 +15,10 @@ runs remain one setting away):
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +27,12 @@ from ..metrics.speedup import gmean, weighted_speedup
 from ..model.system import RunResult, run_design
 from ..model.workload import WorkloadSpec, make_default_workload
 from ..noc.energy import EnergyBreakdown
+from ..runner import (
+    Cell,
+    SweepRunner,
+    get_or_compute,
+    register_cell_kind,
+)
 from ..workloads.mixes import random_lc_mix
 
 __all__ = [
@@ -37,8 +44,14 @@ __all__ = [
     "SweepResult",
     "num_mixes",
     "num_epochs",
+    "run_seed",
     "run_workload",
     "run_sweep",
+    "cached_workload_outcome",
+    "baseline_cell",
+    "workload_cell",
+    "config_as_params",
+    "config_from_params",
     "box_stats",
 ]
 
@@ -202,6 +215,35 @@ def _lc_apps_for(lc_workload: str, mix_seed: int) -> List[str]:
     return [lc_workload]
 
 
+def run_seed(base_seed: int, mix_seed: int) -> int:
+    """Simulation seed of one cell.
+
+    ``base_seed`` (default 0 everywhere) shifts every cell's RNG streams
+    together, so whole sweeps can be rerun on independent randomness;
+    with the default the seed is exactly ``mix_seed``, matching the
+    original serial harness.
+    """
+    return base_seed * 1_000_003 + mix_seed
+
+
+def config_as_params(
+    config: Optional[SystemConfig],
+) -> Optional[Dict[str, Any]]:
+    """Canonical (JSON-able) form of a system config for cell params."""
+    if config is None:
+        return None
+    return dataclasses.asdict(config)
+
+
+def config_from_params(
+    params: Optional[Mapping[str, Any]],
+) -> Optional[SystemConfig]:
+    """Inverse of :func:`config_as_params`."""
+    if params is None:
+        return None
+    return SystemConfig(**params)
+
+
 def run_workload(
     design: str,
     lc_workload: str,
@@ -210,6 +252,7 @@ def run_workload(
     epochs: Optional[int] = None,
     config: Optional[SystemConfig] = None,
     baseline_ipcs: Optional[Mapping[str, float]] = None,
+    base_seed: int = 0,
     **design_kwargs,
 ) -> Tuple[WorkloadOutcome, RunResult, Dict[str, float]]:
     """Run one sweep cell; returns (outcome, raw result, batch IPCs).
@@ -219,17 +262,18 @@ def run_workload(
     as the third element for reuse).
     """
     epochs = epochs if epochs is not None else num_epochs()
+    seed = run_seed(base_seed, mix_seed)
     lc_apps = _lc_apps_for(lc_workload, mix_seed)
     workload = make_default_workload(
         lc_apps, mix_seed=mix_seed, load=load, config=config
     )
     if baseline_ipcs is None:
         static = run_design(
-            "Static", workload, num_epochs=epochs, seed=mix_seed
+            "Static", workload, num_epochs=epochs, seed=seed
         )
         baseline_ipcs = static.batch_ipcs()
     result = run_design(
-        design, workload, num_epochs=epochs, seed=mix_seed,
+        design, workload, num_epochs=epochs, seed=seed,
         **design_kwargs,
     )
     ipcs = result.batch_ipcs()
@@ -249,6 +293,139 @@ def run_workload(
     return outcome, result, dict(baseline_ipcs)
 
 
+# -- sweep cells (see repro.runner) ------------------------------------------
+
+
+def baseline_cell(
+    lc_workload: str,
+    load: str,
+    mix_seed: int,
+    epochs: int,
+    base_seed: int = 0,
+    config: Optional[Mapping[str, Any]] = None,
+) -> Cell:
+    """Cell computing the Static baseline IPCs of one workload."""
+    return Cell(
+        "baseline",
+        {
+            "lc_workload": lc_workload,
+            "load": load,
+            "mix_seed": mix_seed,
+            "epochs": epochs,
+            "base_seed": base_seed,
+            "config": dict(config) if config is not None else None,
+        },
+    )
+
+
+def workload_cell(
+    design: str,
+    lc_workload: str,
+    load: str,
+    mix_seed: int,
+    epochs: int,
+    base_seed: int = 0,
+    config: Optional[Mapping[str, Any]] = None,
+) -> Cell:
+    """Cell computing one (design, workload, load, mix) outcome."""
+    return Cell(
+        "workload",
+        {
+            "design": design,
+            "lc_workload": lc_workload,
+            "load": load,
+            "mix_seed": mix_seed,
+            "epochs": epochs,
+            "base_seed": base_seed,
+            "config": dict(config) if config is not None else None,
+        },
+    )
+
+
+@register_cell_kind("baseline")
+def _baseline_handler(
+    lc_workload: str,
+    load: str,
+    mix_seed: int,
+    epochs: int,
+    base_seed: int = 0,
+    config: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, float]:
+    lc_apps = _lc_apps_for(lc_workload, mix_seed)
+    workload = make_default_workload(
+        lc_apps,
+        mix_seed=mix_seed,
+        load=load,
+        config=config_from_params(config),
+    )
+    static = run_design(
+        "Static",
+        workload,
+        num_epochs=epochs,
+        seed=run_seed(base_seed, mix_seed),
+    )
+    return static.batch_ipcs()
+
+
+@register_cell_kind("workload")
+def _workload_handler(
+    design: str,
+    lc_workload: str,
+    load: str,
+    mix_seed: int,
+    epochs: int,
+    base_seed: int = 0,
+    config: Optional[Mapping[str, Any]] = None,
+) -> WorkloadOutcome:
+    # The Static baseline is itself a cached cell, so it is computed
+    # once per workload no matter how many designs (or workers) need it.
+    baseline = get_or_compute(
+        baseline_cell(
+            lc_workload, load, mix_seed, epochs, base_seed, config
+        )
+    )
+    outcome, _result, _ipcs = run_workload(
+        design,
+        lc_workload,
+        load,
+        mix_seed,
+        epochs=epochs,
+        config=config_from_params(config),
+        baseline_ipcs=baseline,
+        base_seed=base_seed,
+    )
+    return outcome
+
+
+def cached_workload_outcome(
+    design: str,
+    lc_workload: str,
+    load: str,
+    mix_seed: int,
+    epochs: Optional[int] = None,
+    base_seed: int = 0,
+    config: Optional[SystemConfig] = None,
+) -> WorkloadOutcome:
+    """One sweep cell, through the runner's result cache.
+
+    The single-cell counterpart of :func:`run_sweep` — used by the
+    ablation studies so their Static baselines and repeated design runs
+    are shared with (and by) the figure sweeps.
+    """
+    epochs = epochs if epochs is not None else num_epochs()
+    return get_or_compute(
+        workload_cell(
+            design,
+            lc_workload,
+            load,
+            mix_seed,
+            epochs,
+            base_seed,
+            config_as_params(config),
+        )
+    )
+
+
 def run_sweep(
     designs: Sequence[str] = DEFAULT_DESIGNS,
     lc_workloads: Sequence[str] = LC_WORKLOADS,
@@ -256,28 +433,43 @@ def run_sweep(
     mixes: Optional[int] = None,
     epochs: Optional[int] = None,
     config: Optional[SystemConfig] = None,
+    jobs: Optional[int] = None,
+    base_seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> SweepResult:
     """The paper's evaluation sweep (Fig. 13 and friends).
 
-    For each (lc_workload, load, mix) the Static baseline is run once and
-    shared across designs.
+    Cells are fanned out over :class:`repro.runner.SweepRunner`
+    (``jobs`` workers, results cached on disk). The Static baseline of
+    each (lc_workload, load, mix) is a cell of its own, computed once
+    and shared across designs through the cache. Results are
+    bit-identical for any ``jobs``.
     """
     mixes = mixes if mixes is not None else num_mixes()
     epochs = epochs if epochs is not None else num_epochs()
+    runner = runner if runner is not None else SweepRunner(jobs)
+    config_params = config_as_params(config)
+    triples = [
+        (lc_workload, load, mix_seed)
+        for lc_workload in lc_workloads
+        for load in loads
+        for mix_seed in range(mixes)
+    ]
+    # Phase 1: warm the per-workload Static baselines so design cells
+    # (which each need one) hit the cache instead of racing on them.
+    runner.map(
+        [
+            baseline_cell(lc, load, mix, epochs, base_seed, config_params)
+            for lc, load, mix in triples
+        ]
+    )
+    cells = [
+        workload_cell(
+            design, lc, load, mix, epochs, base_seed, config_params
+        )
+        for lc, load, mix in triples
+        for design in designs
+    ]
     sweep = SweepResult()
-    for lc_workload in lc_workloads:
-        for load in loads:
-            for mix_seed in range(mixes):
-                baseline: Optional[Dict[str, float]] = None
-                for design in designs:
-                    outcome, _result, baseline = run_workload(
-                        design,
-                        lc_workload,
-                        load,
-                        mix_seed,
-                        epochs=epochs,
-                        config=config,
-                        baseline_ipcs=baseline,
-                    )
-                    sweep.outcomes.append(outcome)
+    sweep.outcomes = list(runner.map(cells))
     return sweep

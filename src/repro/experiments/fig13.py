@@ -43,6 +43,8 @@ def run(
     loads: Sequence[str] = ("high", "low"),
     mixes: Optional[int] = None,
     epochs: Optional[int] = None,
+    jobs: Optional[int] = None,
+    base_seed: int = 0,
 ) -> Fig13Result:
     """Run the experiment; returns its result object."""
     sweep = run_sweep(
@@ -51,6 +53,8 @@ def run(
         loads=loads,
         mixes=mixes,
         epochs=epochs,
+        jobs=jobs,
+        base_seed=base_seed,
     )
     return Fig13Result(
         sweep=sweep, designs=designs, lc_workloads=lc_workloads,

@@ -38,6 +38,8 @@ def run(
     designs: Sequence[str] = DEFAULT_DESIGNS,
     mixes: Optional[int] = None,
     epochs: Optional[int] = None,
+    jobs: Optional[int] = None,
+    base_seed: int = 0,
 ) -> Fig14Result:
     """Run the experiment; returns its result object."""
     sweep = run_sweep(
@@ -46,6 +48,8 @@ def run(
         loads=("high",),
         mixes=mixes,
         epochs=epochs,
+        jobs=jobs,
+        base_seed=base_seed,
     )
     return from_sweep(sweep, designs)
 

@@ -44,6 +44,8 @@ def run(
     lc_workloads: Sequence[str] = ("xapian", "masstree", "Mixed"),
     mixes: Optional[int] = None,
     epochs: Optional[int] = None,
+    jobs: Optional[int] = None,
+    base_seed: int = 0,
 ) -> Fig15Result:
     """Run the experiment; returns its result object."""
     sweep = run_sweep(
@@ -52,6 +54,8 @@ def run(
         loads=("high",),
         mixes=mixes,
         epochs=epochs,
+        jobs=jobs,
+        base_seed=base_seed,
     )
     return from_sweep(sweep, designs)
 

@@ -48,6 +48,8 @@ def run(
     lc_workloads: Sequence[str] = LC_WORKLOADS,
     mixes: Optional[int] = None,
     epochs: Optional[int] = None,
+    jobs: Optional[int] = None,
+    base_seed: int = 0,
 ) -> Fig16Result:
     """Run the experiment; returns its result object."""
     sweep = run_sweep(
@@ -56,6 +58,8 @@ def run(
         loads=("high", "low"),
         mixes=mixes,
         epochs=epochs,
+        jobs=jobs,
+        base_seed=base_seed,
     )
     return Fig16Result(sweep=sweep, lc_workloads=lc_workloads)
 

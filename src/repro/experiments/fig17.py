@@ -12,16 +12,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from typing import Any, Mapping, Tuple
+
 from ..config import SystemConfig
 from ..metrics.speedup import gmean, weighted_speedup
 from ..model.system import run_design
 from ..model.workload import WorkloadSpec
+from ..runner import Cell, SweepRunner, register_cell_kind
 from ..workloads.mixes import (
     build_vm_configuration,
     random_batch_mix,
     random_lc_mix,
 )
-from .common import num_epochs, num_mixes
+from .common import (
+    config_as_params,
+    config_from_params,
+    num_epochs,
+    num_mixes,
+    run_seed,
+)
 
 __all__ = ["Fig17Result", "VM_CONFIGS", "run", "format_table"]
 
@@ -59,44 +68,94 @@ class Fig17Result:
         return self.speedups[vm_counts[0]] - self.speedups[vm_counts[-1]]
 
 
+def vm_scale_cell(
+    num_vms: int,
+    mix_seed: int,
+    epochs: int,
+    load: str = "high",
+    base_seed: int = 0,
+    config: Optional[Mapping[str, Any]] = None,
+) -> Cell:
+    """Cell computing one (vm-config, mix) point of Fig. 17."""
+    return Cell(
+        "vm_scale",
+        {
+            "num_vms": num_vms,
+            "mix_seed": mix_seed,
+            "epochs": epochs,
+            "load": load,
+            "base_seed": base_seed,
+            "config": dict(config) if config is not None else None,
+        },
+    )
+
+
+@register_cell_kind("vm_scale")
+def _vm_scale_handler(
+    num_vms: int,
+    mix_seed: int,
+    epochs: int,
+    load: str = "high",
+    base_seed: int = 0,
+    config: Optional[Mapping[str, Any]] = None,
+) -> Tuple[float, float]:
+    system = config_from_params(config)
+    system = system if system is not None else SystemConfig()
+    seed = run_seed(base_seed, mix_seed)
+    lc_apps = list(random_lc_mix(mix_seed))
+    batch_apps = list(random_batch_mix(mix_seed))
+    vms = build_vm_configuration(num_vms, lc_apps, batch_apps, system)
+    workload = WorkloadSpec(config=system, vms=vms, load=load)
+    static = run_design(
+        "Static", workload, num_epochs=epochs, seed=seed
+    )
+    jumanji = run_design(
+        "Jumanji", workload, num_epochs=epochs, seed=seed
+    )
+    speedup = weighted_speedup(
+        jumanji.batch_ipcs(), static.batch_ipcs()
+    )
+    worst_tail = max(
+        jumanji.lc_tail_normalized(a) for a in jumanji.lc_deadlines
+    )
+    return speedup, worst_tail
+
+
 def run(
     vm_configs: Sequence[int] = VM_CONFIGS,
     mixes: Optional[int] = None,
     epochs: Optional[int] = None,
     load: str = "high",
     config: Optional[SystemConfig] = None,
+    jobs: Optional[int] = None,
+    base_seed: int = 0,
 ) -> Fig17Result:
     """Run the experiment; returns its result object."""
     mixes = mixes if mixes is not None else num_mixes()
     epochs = epochs if epochs is not None else num_epochs()
     config = config if config is not None else SystemConfig()
+    config_params = config_as_params(config)
+    pairs = [
+        (mix_seed, num_vms)
+        for mix_seed in range(mixes)
+        for num_vms in vm_configs
+    ]
+    runner = SweepRunner(jobs)
+    results = runner.map(
+        [
+            vm_scale_cell(
+                num_vms, mix_seed, epochs, load, base_seed, config_params
+            )
+            for mix_seed, num_vms in pairs
+        ]
+    )
     speedups: Dict[int, List[float]] = {v: [] for v in vm_configs}
     tails: Dict[int, List[float]] = {v: [] for v in vm_configs}
-    for mix_seed in range(mixes):
-        lc_apps = list(random_lc_mix(mix_seed))
-        batch_apps = list(random_batch_mix(mix_seed))
-        for num_vms in vm_configs:
-            vms = build_vm_configuration(
-                num_vms, lc_apps, batch_apps, config
-            )
-            workload = WorkloadSpec(config=config, vms=vms, load=load)
-            static = run_design(
-                "Static", workload, num_epochs=epochs, seed=mix_seed
-            )
-            jumanji = run_design(
-                "Jumanji", workload, num_epochs=epochs, seed=mix_seed
-            )
-            speedups[num_vms].append(
-                weighted_speedup(
-                    jumanji.batch_ipcs(), static.batch_ipcs()
-                )
-            )
-            tails[num_vms].append(
-                max(
-                    jumanji.lc_tail_normalized(a)
-                    for a in jumanji.lc_deadlines
-                )
-            )
+    for (mix_seed, num_vms), (speedup, worst_tail) in zip(
+        pairs, results
+    ):
+        speedups[num_vms].append(speedup)
+        tails[num_vms].append(worst_tail)
     return Fig17Result(
         speedups={v: gmean(s) for v, s in speedups.items()},
         worst_tails={v: max(t) for v, t in tails.items()},

@@ -9,14 +9,15 @@ at 3 cycles in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..config import SystemConfig
 from ..metrics.speedup import gmean, weighted_speedup
 from ..model.system import run_design
 from ..model.workload import make_default_workload
+from ..runner import Cell, SweepRunner, register_cell_kind
 from ..workloads.mixes import random_lc_mix
-from .common import num_epochs, num_mixes
+from .common import num_epochs, num_mixes, run_seed
 
 __all__ = ["Fig18Result", "run", "format_table"]
 
@@ -36,37 +37,78 @@ class Fig18Result:
         return all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
 
 
+def noc_delay_cell(
+    router_delay: int,
+    mix_seed: int,
+    epochs: int,
+    design: str = "Jumanji",
+    base_seed: int = 0,
+) -> Cell:
+    """Cell computing one (router delay, mix) speedup of Fig. 18."""
+    return Cell(
+        "noc_delay",
+        {
+            "router_delay": router_delay,
+            "mix_seed": mix_seed,
+            "epochs": epochs,
+            "design": design,
+            "base_seed": base_seed,
+        },
+    )
+
+
+@register_cell_kind("noc_delay")
+def _noc_delay_handler(
+    router_delay: int,
+    mix_seed: int,
+    epochs: int,
+    design: str = "Jumanji",
+    base_seed: int = 0,
+) -> float:
+    config = SystemConfig().with_router_delay(router_delay)
+    seed = run_seed(base_seed, mix_seed)
+    lc_apps = list(random_lc_mix(mix_seed))
+    workload = make_default_workload(
+        lc_apps, mix_seed=mix_seed, load="high", config=config
+    )
+    static = run_design(
+        "Static", workload, num_epochs=epochs, seed=seed
+    )
+    target = run_design(
+        design, workload, num_epochs=epochs, seed=seed
+    )
+    return weighted_speedup(target.batch_ipcs(), static.batch_ipcs())
+
+
 def run(
     router_delays: Sequence[int] = ROUTER_DELAYS,
     mixes: Optional[int] = None,
     epochs: Optional[int] = None,
     design: str = "Jumanji",
+    jobs: Optional[int] = None,
+    base_seed: int = 0,
 ) -> Fig18Result:
     """Run the experiment; returns its result object."""
     mixes = mixes if mixes is not None else num_mixes()
     epochs = epochs if epochs is not None else num_epochs()
-    speedups: Dict[int, float] = {}
-    for delay in router_delays:
-        config = SystemConfig().with_router_delay(delay)
-        per_mix = []
-        for mix_seed in range(mixes):
-            lc_apps = list(random_lc_mix(mix_seed))
-            workload = make_default_workload(
-                lc_apps, mix_seed=mix_seed, load="high", config=config
-            )
-            static = run_design(
-                "Static", workload, num_epochs=epochs, seed=mix_seed
-            )
-            target = run_design(
-                design, workload, num_epochs=epochs, seed=mix_seed
-            )
-            per_mix.append(
-                weighted_speedup(
-                    target.batch_ipcs(), static.batch_ipcs()
-                )
-            )
-        speedups[delay] = gmean(per_mix)
-    return Fig18Result(speedups=speedups)
+    pairs = [
+        (delay, mix_seed)
+        for delay in router_delays
+        for mix_seed in range(mixes)
+    ]
+    runner = SweepRunner(jobs)
+    per_cell = runner.map(
+        [
+            noc_delay_cell(delay, mix_seed, epochs, design, base_seed)
+            for delay, mix_seed in pairs
+        ]
+    )
+    speedups: Dict[int, List[float]] = {d: [] for d in router_delays}
+    for (delay, _mix_seed), speedup in zip(pairs, per_cell):
+        speedups[delay].append(speedup)
+    return Fig18Result(
+        speedups={d: gmean(s) for d, s in speedups.items()}
+    )
 
 
 def format_table(result: Fig18Result) -> str:

@@ -236,6 +236,7 @@ class SystemModel:
                 self._effective_lat_sizes(sizes), self.noc
             ),
             controller_config=controller_config,
+            seed=seed,
         )
         self._lc_sims: Dict[str, LcRequestSimulator] = {}
         self._deadlines: Dict[str, float] = {}

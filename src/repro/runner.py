@@ -1,0 +1,487 @@
+"""Parallel sweep engine with a content-addressed result cache.
+
+Every figure in the paper's evaluation is a *sweep*: a set of
+independent experiment cells (mix x design x config) whose results are
+aggregated into one table. This module turns those cells into first-
+class objects so they can be
+
+* fanned out over a ``multiprocessing`` pool (worker count from
+  ``jobs=``, the ``REPRO_JOBS`` environment variable, or
+  ``os.cpu_count()``), and
+* memoised in an on-disk, content-addressed cache: the key is the
+  SHA-256 of the cell's canonicalised inputs plus a fingerprint of the
+  package's source code, so re-running a figure only recomputes cells
+  whose inputs (or the model itself) changed.
+
+Determinism contract: a cell's value depends only on its inputs, never
+on scheduling. ``SweepRunner.map`` therefore returns results in
+submission order, and parallel, serial (``jobs=1``), and cache-warm
+reruns are bit-identical (``tests/test_runner_equivalence.py`` enforces
+this).
+
+Cache layout: ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-sweeps``),
+one pickle per cell at ``<key[:2]>/<key>.pkl``. The cache is safe to
+delete wholesale at any time (``repro bench --cold`` does exactly
+that); entries are also invalidated implicitly whenever the package
+source changes, because the code fingerprint is part of every key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pathlib
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "Cell",
+    "CellStats",
+    "ResultCache",
+    "SweepRunner",
+    "cell_key",
+    "code_fingerprint",
+    "default_cache_dir",
+    "register_cell_kind",
+    "resolve_jobs",
+]
+
+
+# --------------------------------------------------------------------------
+# Worker-count resolution
+# --------------------------------------------------------------------------
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            jobs = int(env)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    return jobs
+
+
+# --------------------------------------------------------------------------
+# Cells and content-addressed keys
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One unit of sweep work: a registered ``kind`` plus its inputs.
+
+    ``params`` must be JSON-canonicalisable (numbers, strings, bools,
+    None, and nested lists/dicts thereof) — it *is* the cache identity,
+    so anything that affects the result must be in it.
+    """
+
+    kind: str
+    params: Mapping[str, Any]
+
+    def canonical(self) -> str:
+        """Canonical JSON encoding of the cell (stable across runs)."""
+        return json.dumps(
+            {"kind": self.kind, "params": _canonicalize(self.params)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def _canonicalize(value: Any) -> Any:
+    """Reduce a value to a canonical JSON-encodable form."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonicalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if isinstance(value, float):
+        # repr round-trips float64 exactly; json would too, but be
+        # explicit so the key never depends on json float formatting.
+        return float(value)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"cell param of type {type(value).__name__} is not canonical; "
+        "pass plain numbers/strings/lists/dicts"
+    )
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the package's source files (cached per process).
+
+    Including this in every cache key means a code change invalidates
+    the whole cache — stale results can never leak across versions.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = pathlib.Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def cell_key(cell: Cell) -> str:
+    """Content address of a cell: SHA-256(inputs + code version)."""
+    digest = hashlib.sha256()
+    digest.update(cell.canonical().encode())
+    digest.update(code_fingerprint().encode())
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------------------
+# On-disk result cache
+# --------------------------------------------------------------------------
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-sweeps"
+
+
+class ResultCache:
+    """Pickle-per-cell cache addressed by :func:`cell_key`.
+
+    Writes are atomic (tempfile + rename), so concurrent workers racing
+    on the same cell at worst duplicate work — they never corrupt an
+    entry or observe a partial one.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = pathlib.Path(
+            directory if directory is not None else default_cache_dir()
+        )
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored ``{"value", "duration"}`` payload, or None."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None
+
+    def put(self, key: str, value: Any, duration: float) -> None:
+        """Store a cell result atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"value": value, "duration": float(duration)}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        path = self._path(key)
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return 0
+        for path in self.directory.rglob("*.pkl"):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def size(self) -> int:
+        """Number of entries currently stored."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.rglob("*.pkl"))
+
+
+# --------------------------------------------------------------------------
+# Cell-kind registry (handlers run inside workers, so module level)
+# --------------------------------------------------------------------------
+
+
+_CELL_KINDS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_cell_kind(
+    kind: str,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a handler ``fn(**params) -> value`` for a cell kind."""
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if kind in _CELL_KINDS and _CELL_KINDS[kind] is not fn:
+            raise ValueError(f"cell kind {kind!r} already registered")
+        _CELL_KINDS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def _handler_for(kind: str) -> Callable[..., Any]:
+    if kind not in _CELL_KINDS:
+        # Built-in handlers live in the experiment modules; importing
+        # the package registers all of them.
+        from . import experiments  # noqa: F401
+    try:
+        return _CELL_KINDS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell kind {kind!r}; registered: "
+            f"{sorted(_CELL_KINDS)}"
+        ) from None
+
+
+def compute_cell(cell: Cell) -> Any:
+    """Run a cell's handler inline (no cache, no pool)."""
+    return _handler_for(cell.kind)(**dict(cell.params))
+
+
+#: Cache of the cell currently being evaluated (set by the worker), so
+#: nested ``get_or_compute`` calls land in the same cache the runner
+#: was configured with rather than the environment default.
+_CURRENT_CACHE: Optional[ResultCache] = None
+
+
+def get_or_compute(
+    cell: Cell, cache: Optional[ResultCache] = None
+) -> Any:
+    """Cache-through evaluation of one cell (usable inside workers).
+
+    Handlers that depend on other cells (e.g. a design run needing its
+    Static baseline) call this so shared work is computed once and
+    reused through the cache regardless of scheduling.
+    """
+    if cache is None:
+        cache = _CURRENT_CACHE
+    if cache is None:
+        cache = ResultCache()
+    key = cell_key(cell)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit["value"]
+    start = time.process_time()
+    value = compute_cell(cell)
+    cache.put(key, value, time.process_time() - start)
+    return value
+
+
+# --------------------------------------------------------------------------
+# Pool plumbing
+# --------------------------------------------------------------------------
+
+
+def _worker(
+    task: Tuple[int, Cell, str]
+) -> Tuple[int, Any, bool, float]:
+    """Evaluate one cell in a worker process.
+
+    Returns ``(index, value, was_cached, duration)``; ``index`` restores
+    submission order in the parent, keeping results deterministic no
+    matter how the pool schedules.
+    """
+    global _CURRENT_CACHE
+    index, cell, cache_dir = task
+    cache = ResultCache(cache_dir)
+    key = cell_key(cell)
+    hit = cache.get(key)
+    if hit is not None:
+        return index, hit["value"], True, hit["duration"]
+    previous = _CURRENT_CACHE
+    _CURRENT_CACHE = cache
+    try:
+        # CPU time, not wall time: wall time inside a contended worker
+        # counts the other workers' time slices, which would inflate
+        # the serial estimate CellStats reports.
+        start = time.process_time()
+        value = compute_cell(cell)
+        duration = time.process_time() - start
+    finally:
+        _CURRENT_CACHE = previous
+    cache.put(key, value, duration)
+    return index, value, False, duration
+
+
+# --------------------------------------------------------------------------
+# Runner
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CellStats:
+    """What one or more ``map`` calls did (for ``repro bench``)."""
+
+    cells: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+    #: Sum of per-cell compute durations — what a serial, cache-less
+    #: run would have cost. ``serial_seconds / wall_seconds`` is the
+    #: sweep's speedup versus that serial baseline.
+    serial_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cells served from the cache."""
+        return self.cache_hits / self.cells if self.cells else 0.0
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Serial-estimate time over actual wall time."""
+        if self.wall_seconds <= 0:
+            return float("inf") if self.serial_seconds > 0 else 1.0
+        return self.serial_seconds / self.wall_seconds
+
+    def absorb(self, other: "CellStats") -> None:
+        """Accumulate another stats record into this one, in place."""
+        self.cells += other.cells
+        self.computed += other.computed
+        self.cache_hits += other.cache_hits
+        self.wall_seconds += other.wall_seconds
+        self.serial_seconds += other.serial_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (used by ``BENCH_sweeps.json``)."""
+        return {
+            "cells": self.cells,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "wall_seconds": self.wall_seconds,
+            "serial_seconds_estimate": self.serial_seconds,
+            "speedup_vs_serial": self.speedup_vs_serial,
+        }
+
+
+#: When set (see :func:`collecting_stats`), every ``SweepRunner.map``
+#: in this process also accumulates into this collector — how
+#: ``repro bench`` observes sweeps run deep inside figure modules.
+_ACTIVE_COLLECTOR: Optional[CellStats] = None
+
+
+class _StatsScope:
+    """Context manager installing a process-wide stats collector."""
+
+    def __init__(self) -> None:
+        self.stats = CellStats()
+
+    def __enter__(self) -> CellStats:
+        global _ACTIVE_COLLECTOR
+        self._previous = _ACTIVE_COLLECTOR
+        _ACTIVE_COLLECTOR = self.stats
+        return self.stats
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _ACTIVE_COLLECTOR
+        _ACTIVE_COLLECTOR = self._previous
+
+
+def collecting_stats() -> _StatsScope:
+    """Collect stats from every runner used inside the ``with`` block."""
+    return _StatsScope()
+
+
+class SweepRunner:
+    """Fans cells out over a process pool, through the result cache.
+
+    ``jobs=1`` (or a single cell) runs inline in the parent — the
+    serial path and the parallel path execute the exact same per-cell
+    code, which is what makes them bit-identical.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache if cache is not None else ResultCache()
+        self.stats = CellStats()
+
+    def map(self, cells: Sequence[Cell]) -> List[Any]:
+        """Evaluate cells (parallel, cached); results in given order."""
+        cells = list(cells)
+        if not cells:
+            return []
+        start = time.perf_counter()
+        cache_dir = str(self.cache.directory)
+        tasks = [
+            (i, cell, cache_dir) for i, cell in enumerate(cells)
+        ]
+        results: List[Any] = [None] * len(cells)
+        batch = CellStats(cells=len(cells))
+        if self.jobs == 1 or len(cells) == 1:
+            outcomes = map(_worker, tasks)
+            self._drain(outcomes, results, batch)
+        else:
+            # fork shares the already-imported modules with workers;
+            # fall back to the platform default elsewhere.
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                ctx = multiprocessing.get_context()
+            with ctx.Pool(processes=min(self.jobs, len(cells))) as pool:
+                self._drain(
+                    pool.imap_unordered(_worker, tasks), results, batch
+                )
+        batch.wall_seconds = time.perf_counter() - start
+        self.stats.absorb(batch)
+        if _ACTIVE_COLLECTOR is not None:
+            _ACTIVE_COLLECTOR.absorb(batch)
+        return results
+
+    @staticmethod
+    def _drain(
+        outcomes: Iterable[Tuple[int, Any, bool, float]],
+        results: List[Any],
+        batch: CellStats,
+    ) -> None:
+        for index, value, was_cached, duration in outcomes:
+            results[index] = value
+            if was_cached:
+                batch.cache_hits += 1
+            else:
+                batch.computed += 1
+            batch.serial_seconds += duration

@@ -1,0 +1,85 @@
+"""``repro bench``: CLI wiring and the BENCH_sweeps.json contract."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run_bench(out, extra=()):
+    argv = [
+        "bench", "--figures", "fig18", "--mixes", "1", "--epochs", "2",
+        "--jobs", "1", "--output", str(out), *extra,
+    ]
+    assert main(argv) == 0
+    return json.loads(out.read_text())
+
+
+REQUIRED_FIGURE_KEYS = {
+    "cells",
+    "computed",
+    "cache_hits",
+    "cache_hit_rate",
+    "wall_seconds",
+    "serial_seconds_estimate",
+    "speedup_vs_serial",
+}
+
+
+@pytest.fixture()
+def bench_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path
+
+
+def test_bench_report_schema_and_cache_behaviour(bench_env, capsys):
+    out = bench_env / "BENCH_sweeps.json"
+    cold = _run_bench(out)
+
+    assert cold["jobs"] == 1
+    assert cold["cold"] is False
+    assert cold["cache_dir"] == str(bench_env / "cache")
+    assert len(cold["code_fingerprint"]) == 64
+    fig = cold["figures"]["fig18"]
+    assert REQUIRED_FIGURE_KEYS <= set(fig)
+    assert fig["cells"] == fig["computed"] > 0
+    assert fig["cache_hits"] == 0
+    assert fig["wall_seconds"] > 0
+    total = cold["total"]
+    assert total["cells"] == fig["cells"]
+    assert 0.0 <= total["cache_hit_rate"] <= 1.0
+
+    # Warm rerun: every cell served from the cache, none recomputed.
+    warm = _run_bench(out)
+    wfig = warm["figures"]["fig18"]
+    assert wfig["cells"] == fig["cells"]
+    assert wfig["computed"] == 0
+    assert wfig["cache_hit_rate"] == 1.0
+    # The warm serial estimate still reflects the recorded compute cost.
+    assert wfig["serial_seconds_estimate"] > 0
+
+    # --cold clears the cache first, forcing a full recompute.
+    forced = _run_bench(out, extra=("--cold",))
+    assert forced["cold"] is True
+    ffig = forced["figures"]["fig18"]
+    assert ffig["computed"] == fig["cells"]
+    assert ffig["cache_hits"] == 0
+
+    summary = capsys.readouterr().out
+    assert "fig18:" in summary
+    assert str(out) in summary
+
+
+def test_bench_rejects_unknown_figure(bench_env):
+    from repro.bench import run_bench
+
+    with pytest.raises(ValueError, match="unknown figures"):
+        run_bench(figures=["fig99"])
+
+
+def test_figure_command_accepts_jobs(bench_env, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_MIXES", "1")
+    monkeypatch.setenv("REPRO_EPOCHS", "2")
+    assert main(["figure", "fig18", "--jobs", "1"]) == 0
+    assert "Fig. 18" in capsys.readouterr().out

@@ -1,0 +1,185 @@
+"""Property-based placement invariants over seeded random contexts.
+
+Two contracts underpin Jumanji's security and correctness story, so they
+must hold for *any* workload, not just the curated test contexts:
+
+* bank isolation — no LLC bank ever holds data from two VMs
+  (``core/jumanji.py``, ``core/latcrit.py``);
+* capacity conservation — allocations never exceed the LLC, partitioning
+  hands out exactly the budgeted capacity (``core/lookahead.py``).
+
+Contexts are generated from an integer seed via ``random.Random`` so
+failures shrink to a single reproducible seed.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.misscurve import MissCurve
+from repro.config import SystemConfig, VmSpec
+from repro.core.context import AppInfo, PlacementContext
+from repro.core.jumanji import jumanji_placer
+from repro.core.latcrit import lat_crit_placer
+from repro.core.lookahead import jumanji_lookahead, lookahead
+from repro.noc.mesh import MeshNoc
+
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+def random_context(seed: int) -> PlacementContext:
+    """A random 2-4 VM context: monotone curves, random LC targets."""
+    rng = random.Random(seed)
+    config = SystemConfig()
+    corners = (0, 4, 15, 19)
+    neighbours = (1, 3, 16, 18)
+    num_vms = rng.randint(2, 4)
+    vms = []
+    apps = {}
+    lat_sizes = {}
+    for vm_id in range(num_vms):
+        lc = f"lc{vm_id}"
+        batch = f"batch{vm_id}"
+        vms.append(
+            VmSpec(
+                vm_id=vm_id,
+                cores=(corners[vm_id], neighbours[vm_id]),
+                lc_apps=(lc,),
+                batch_apps=(batch,),
+            )
+        )
+        lc_level = rng.uniform(0.1, 2.0)
+        lc_decay = rng.uniform(0.3, 0.9)
+        lc_curve = MissCurve(
+            [lc_level * (lc_decay ** i) for i in range(41)], step=0.5
+        )
+        b_level = rng.uniform(1.0, 20.0)
+        b_slope = rng.uniform(0.05, 1.0)
+        batch_curve = MissCurve(
+            [b_level / (1.0 + i * b_slope) for i in range(41)], step=0.5
+        )
+        apps[lc] = AppInfo(
+            name=lc, tile=corners[vm_id], vm_id=vm_id, is_lc=True,
+            curve=lc_curve, intensity=rng.uniform(0.5, 3.0),
+        )
+        apps[batch] = AppInfo(
+            name=batch, tile=neighbours[vm_id], vm_id=vm_id,
+            is_lc=False, curve=batch_curve,
+            intensity=rng.uniform(1.0, 20.0),
+        )
+        lat_sizes[lc] = rng.uniform(0.3, 2.0)
+    return PlacementContext(
+        config=config,
+        noc=MeshNoc(config),
+        vms=vms,
+        apps=apps,
+        lat_sizes=lat_sizes,
+    )
+
+
+class TestJumanjiIsolation:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_no_bank_ever_shared_between_vms(self, seed):
+        ctx = random_context(seed)
+        alloc = jumanji_placer(ctx)
+        alloc.validate()
+        assert alloc.violates_bank_isolation(ctx.vm_of_app_map()) == []
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_capacity_conserved_and_lc_targets_met(self, seed):
+        ctx = random_context(seed)
+        alloc = jumanji_placer(ctx)
+        bank_mb = ctx.config.llc_size_mb / ctx.config.num_banks
+        assert alloc.total_used() <= ctx.config.llc_size_mb + 1e-6
+        for bank in range(ctx.config.num_banks):
+            assert alloc.bank_used(bank) <= bank_mb + 1e-9
+        total = sum(alloc.app_size(a) for a in alloc.apps())
+        assert total == pytest.approx(alloc.total_used(), abs=1e-9)
+        for lc, target in ctx.lat_sizes.items():
+            assert alloc.app_size(lc) == pytest.approx(
+                target, abs=1e-6
+            )
+
+
+class TestLatCritPlacer:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_places_exactly_the_targets(self, seed):
+        ctx = random_context(seed)
+        alloc = lat_crit_placer(ctx)
+        alloc.validate()
+        for lc, target in ctx.lat_sizes.items():
+            assert alloc.app_size(lc) == pytest.approx(
+                target, abs=1e-9
+            )
+        assert alloc.total_used() == pytest.approx(
+            sum(ctx.lat_sizes.values()), abs=1e-9
+        )
+        # Only LC space is placed; batch placement comes later.
+        assert set(alloc.apps()) <= set(ctx.lc_apps)
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_isolated_mode_keeps_vms_apart(self, seed):
+        ctx = random_context(seed)
+        alloc = lat_crit_placer(ctx, isolate_vms=True)
+        assert alloc.violates_bank_isolation(ctx.vm_of_app_map()) == []
+
+
+class TestLookaheadConservation:
+    @given(seeds, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_lookahead_hands_out_exactly_the_capacity(
+        self, seed, capacity
+    ):
+        rng = random.Random(seed)
+        curves = {
+            f"a{i}": MissCurve(
+                [rng.uniform(1.0, 20.0) / (1.0 + j * rng.uniform(0.1, 1.0))
+                 for j in range(21)]
+            )
+            for i in range(rng.randint(2, 5))
+        }
+        sizes = lookahead(curves, float(capacity), 1.0)
+        assert set(sizes) == set(curves)
+        assert all(v >= -1e-12 for v in sizes.values())
+        assert sum(sizes.values()) == pytest.approx(
+            float(capacity), abs=1e-9
+        )
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_jumanji_lookahead_covers_all_banks_in_whole_banks(
+        self, seed
+    ):
+        rng = random.Random(seed)
+        num_vms = rng.randint(2, 4)
+        num_banks = rng.randint(num_vms + 1, 20)
+        bank_mb = rng.choice([0.5, 1.0, 1.5])
+        vm_curves = {
+            vm: MissCurve(
+                [rng.uniform(1.0, 30.0) / (1.0 + j * rng.uniform(0.05, 0.8))
+                 for j in range(41)]
+            )
+            for vm in range(num_vms)
+        }
+        # LC reservations small enough that the minimum whole-bank
+        # grants fit in the LLC.
+        lat_allocs = {
+            vm: rng.uniform(0.0, bank_mb * (num_banks / num_vms - 1))
+            for vm in range(num_vms)
+        }
+        batch = jumanji_lookahead(
+            vm_curves, lat_allocs, num_banks, bank_mb
+        )
+        total_banks = 0
+        for vm, batch_mb in batch.items():
+            vm_total = batch_mb + lat_allocs[vm]
+            banks = vm_total / bank_mb
+            assert banks == pytest.approx(round(banks), abs=1e-6)
+            assert round(banks) >= 1
+            total_banks += round(banks)
+        assert total_banks == num_banks
