@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-smoke bench-full examples \
-	figures clean
+.PHONY: install test check bench bench-smoke bench-tracesim \
+	bench-full examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,10 +11,11 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Tier-1 gate: the full test suite plus a bench smoke run.
+# Tier-1 gate: the full test suite plus the bench smoke runs.
 check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	$(MAKE) bench-smoke
+	$(MAKE) bench-tracesim
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -25,6 +26,15 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro bench \
 	  --figures fig13 --mixes 2 --epochs 2
+
+# Tiny trace-simulator benchmark (seconds): times the array-backed
+# fast path against the frozen scalar reference on identical replayed
+# streams and shards two seed runs through the result cache. Writes to
+# a scratch path so the committed default-scale BENCH_tracesim.json
+# (regenerate with `python -m repro bench --suite tracesim`) survives.
+bench-tracesim:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite tracesim \
+	  --accesses 1000 --seeds 2 --output BENCH_tracesim_smoke.json
 
 # Paper-scale sweep (40 mixes, 25 epochs) — takes a while.
 bench-full:
@@ -42,4 +52,5 @@ figures:
 
 clean:
 	rm -rf results/ .pytest_cache .benchmarks
+	rm -f BENCH_sweeps.json BENCH_tracesim_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,16 +1,23 @@
 """``repro bench``: timed sweep benchmarking with a machine-readable report.
 
-Runs the sweep-backed figures (Fig. 13-18) through the parallel runner
-and writes ``BENCH_sweeps.json`` recording, per figure:
+Two suites:
 
-* wall-clock seconds,
-* cells computed vs. served from the result cache,
-* the estimated serial cost (sum of per-cell compute durations) and the
-  resulting speedup vs. that serial baseline.
+* ``--suite sweeps`` (default) runs the sweep-backed figures
+  (Fig. 13-18) through the parallel runner and writes
+  ``BENCH_sweeps.json`` recording, per figure: wall-clock seconds,
+  cells computed vs. served from the result cache, the estimated serial
+  cost (sum of per-cell compute durations), and the resulting speedup
+  vs. that serial baseline. The serial estimate comes from the
+  durations the cache records for every cell, so warm runs still report
+  an honest speedup without re-running the sweep serially.
 
-The serial estimate comes from the durations the cache records for
-every cell, so warm runs still report an honest speedup without
-re-running the sweep serially.
+* ``--suite tracesim`` benchmarks the array-backed trace-simulator fast
+  path (``repro.sim.tracesim``) against the frozen scalar reference
+  (``repro.sim.reference``) on byte-identical replayed streams, checks
+  the aggregate :class:`~repro.sim.tracesim.TraceStats` are
+  bit-identical, shards per-seed trace runs over the runner pool, and
+  writes ``BENCH_tracesim.json``. ``--profile`` additionally dumps
+  cProfile stats for one closed-loop simulated epoch.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ import json
 import os
 import pathlib
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from . import __version__
 from .runner import (
@@ -30,7 +37,13 @@ from .runner import (
     resolve_jobs,
 )
 
-__all__ = ["BENCH_FIGURES", "run_bench", "add_bench_arguments", "cmd_bench"]
+__all__ = [
+    "BENCH_FIGURES",
+    "run_bench",
+    "run_tracesim_bench",
+    "add_bench_arguments",
+    "cmd_bench",
+]
 
 
 def _fig13(mixes: Optional[int], epochs: Optional[int],
@@ -171,8 +184,277 @@ def run_bench(
     return report
 
 
+# --------------------------------------------------------------------------
+# tracesim suite
+# --------------------------------------------------------------------------
+
+
+def _tracesim_streams(
+    accesses: int, config, seed: int = 0
+) -> List[List[int]]:
+    """Materialised per-core access streams for the benchmark workload.
+
+    One third each of Zipf reuse, uniform working-set reuse, and
+    streaming scans — miss-heavy enough that the LLC banks do real
+    eviction/partition work. Generated once so the fast path and the
+    scalar reference replay byte-identical streams and the measurement
+    excludes trace-generation cost.
+    """
+    from .workloads.traces import (
+        StreamingTrace,
+        WorkingSetTrace,
+        ZipfTrace,
+    )
+
+    streams = []
+    for core in range(config.num_cores):
+        if core % 3 == 0:
+            trace = ZipfTrace(
+                40_000, alpha=0.9, seed=seed * 1000 + core,
+                base_line=core << 32,
+            )
+        elif core % 3 == 1:
+            trace = WorkingSetTrace(
+                30_000, seed=seed * 1000 + core, base_line=core << 32
+            )
+        else:
+            trace = StreamingTrace(50_000, base_line=core << 32)
+        streams.append(trace.lines(accesses))
+    return streams
+
+
+def _replay_sim(sim_cls, streams: List[List[int]], config):
+    """A simulator instance with every core replaying its stream."""
+    from .vtb.vtb import descriptor_from_allocation
+    from .workloads.traces import ReplayTrace
+
+    sim = sim_cls(config)
+    for core, stream in enumerate(streams):
+        group = (core % 4) * 5
+        alloc = {bank: 1.0 for bank in range(group, group + 5)}
+        sim.add_core(
+            core,
+            ReplayTrace(stream),
+            vc_id=core,
+            descriptor=descriptor_from_allocation(alloc),
+        )
+    return sim
+
+
+def _timed_run(sim, accesses: int) -> Tuple[float, Dict]:
+    start = time.perf_counter()
+    sim.run(accesses)
+    return time.perf_counter() - start, sim.stats()
+
+
+def _profile_epoch(
+    path: pathlib.Path, accesses_per_core: int
+) -> Dict[str, Any]:
+    """cProfile one closed-loop epoch; dump pstats to ``path``."""
+    import cProfile
+    import pstats
+
+    from .core.designs import make_design
+    from .sim.epochsim import ClosedLoopSimulation, TraceApp
+    from .workloads.traces import WorkingSetTrace, ZipfTrace
+
+    apps = []
+    corners = [(0, 1), (4, 3), (15, 16), (19, 18)]
+    for vm, (lc_core, batch_core) in enumerate(corners):
+        apps.append(
+            TraceApp(
+                f"lc{vm}", lc_core, vm,
+                ZipfTrace(3000, alpha=1.0, seed=vm), is_lc=True,
+            )
+        )
+        apps.append(
+            TraceApp(
+                f"b{vm}", batch_core, vm,
+                WorkingSetTrace(
+                    5000, seed=100 + vm, base_line=10**7 * (vm + 1)
+                ),
+            )
+        )
+    sim = ClosedLoopSimulation(
+        make_design("Jumanji"), apps,
+        lat_sizes={f"lc{v}": 0.2 for v in range(4)},
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run_epoch(accesses_per_core=accesses_per_core)
+    profiler.disable()
+    profiler.dump_stats(str(path))
+    stats = pstats.Stats(profiler)
+    return {
+        "path": str(path),
+        "total_calls": int(stats.total_calls),
+        "total_seconds": float(stats.total_tt),
+    }
+
+
+def run_tracesim_bench(
+    accesses: int = 20_000,
+    seeds: int = 4,
+    jobs: Optional[int] = None,
+    cold: bool = False,
+    profile: bool = False,
+    output: Optional[os.PathLike] = None,
+) -> Dict[str, Any]:
+    """Benchmark the trace-simulator fast path; write the report.
+
+    ``accesses`` is the per-core round count of the timed comparison
+    (and of each sharded run); ``seeds`` is how many independent
+    ``tracesim_run`` cells are fanned over the runner pool. With
+    ``cold=True`` the result cache is cleared first. ``output`` defaults
+    to ``BENCH_tracesim.json`` in the current directory.
+    """
+    from .config import SystemConfig
+    from .sim.reference import ReferenceTraceSimulator
+    from .sim.shard import shard_tracesim_runs
+    from .sim.tracesim import TraceSimulator
+
+    if accesses < 1:
+        raise ValueError("need at least one access per core")
+    if seeds < 1:
+        raise ValueError("need at least one sharded seed run")
+    jobs_resolved = resolve_jobs(jobs)
+    cache = ResultCache()
+    if cold:
+        cache.clear()
+    config = SystemConfig()
+    streams = _tracesim_streams(accesses, config)
+    total = accesses * config.num_cores
+
+    fast_wall, fast_stats = _timed_run(
+        _replay_sim(TraceSimulator, streams, config), accesses
+    )
+    ref_wall, ref_stats = _timed_run(
+        _replay_sim(ReferenceTraceSimulator, streams, config), accesses
+    )
+
+    # Sharded per-seed runs through the pool + content-addressed cache.
+    run_specs = [
+        {
+            "cores": [
+                {
+                    "core_id": core,
+                    "trace": {
+                        "kind": "zipf",
+                        "num_lines": 20_000,
+                        "alpha": 0.9,
+                        "seed": seed * 1000 + core,
+                        "base_line": core << 32,
+                    },
+                    "banks": [
+                        (core % 4) * 5 + off for off in range(5)
+                    ],
+                    "partition": f"app{core}",
+                }
+                for core in range(config.num_cores)
+            ],
+            "rounds": accesses,
+            "bank_sets": 64,
+        }
+        for seed in range(seeds)
+    ]
+    shard_start = time.perf_counter()
+    _, runner = shard_tracesim_runs(run_specs, jobs=jobs_resolved)
+    shard_wall = time.perf_counter() - shard_start
+
+    report: Dict[str, Any] = {
+        "version": __version__,
+        "suite": "tracesim",
+        "code_fingerprint": code_fingerprint(),
+        "jobs": jobs_resolved,
+        "cold": cold,
+        "cache_dir": str(cache.directory),
+        "workload": {
+            "cores": config.num_cores,
+            "accesses_per_core": accesses,
+            "total_accesses": total,
+        },
+        "scalar_reference": {
+            "wall_seconds": ref_wall,
+            "accesses_per_sec": total / ref_wall,
+        },
+        "fast_path": {
+            "wall_seconds": fast_wall,
+            "accesses_per_sec": total / fast_wall,
+        },
+        "speedup_vs_scalar": ref_wall / fast_wall,
+        "stats_identical": fast_stats == ref_stats,
+        "sharded_runs": dict(
+            runner.stats.as_dict(),
+            seeds=seeds,
+            wall_seconds=shard_wall,
+        ),
+        "profile": None,
+    }
+    if output is None:
+        output = "BENCH_tracesim.json"
+    path = pathlib.Path(output)
+    if profile:
+        report["profile"] = _profile_epoch(
+            path.with_suffix(".prof"), min(accesses, 5000)
+        )
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    report["output"] = str(path)
+    return report
+
+
+def cmd_tracesim_bench(args: argparse.Namespace) -> int:
+    """CLI entry point for ``repro bench --suite tracesim``."""
+    output = args.output
+    if output == "BENCH_sweeps.json":
+        # Default output name follows the suite.
+        output = "BENCH_tracesim.json"
+    report = run_tracesim_bench(
+        accesses=args.accesses,
+        seeds=args.seeds,
+        jobs=args.jobs,
+        cold=args.cold,
+        profile=args.profile,
+        output=output,
+    )
+    ref = report["scalar_reference"]
+    fast = report["fast_path"]
+    shards = report["sharded_runs"]
+    print(
+        f"tracesim: {report['workload']['total_accesses']:,} accesses "
+        f"x {report['workload']['cores']} cores, jobs={report['jobs']}"
+    )
+    print(
+        f"  scalar reference: {ref['accesses_per_sec']:,.0f} acc/s "
+        f"({ref['wall_seconds']:.2f}s)"
+    )
+    print(
+        f"  fast path:        {fast['accesses_per_sec']:,.0f} acc/s "
+        f"({fast['wall_seconds']:.2f}s)"
+    )
+    print(
+        f"  speedup {report['speedup_vs_scalar']:.2f}x, stats "
+        f"identical: {report['stats_identical']}"
+    )
+    print(
+        f"  sharded runs: {shards['computed']} computed + "
+        f"{shards['cache_hits']} cached cells in "
+        f"{shards['wall_seconds']:.2f}s"
+    )
+    if report["profile"]:
+        print(f"  profile: {report['profile']['path']}")
+    print(f"wrote {report['output']}")
+    return 0
+
+
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach ``repro bench`` options to a subparser."""
+    parser.add_argument(
+        "--suite",
+        choices=("sweeps", "tracesim"),
+        default="sweeps",
+        help="what to benchmark: figure sweeps (default) or the "
+        "trace-simulator fast path",
+    )
     parser.add_argument(
         "--figures",
         nargs="+",
@@ -198,12 +480,34 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--output",
         default="BENCH_sweeps.json",
-        help="report path (default BENCH_sweeps.json)",
+        help="report path (default BENCH_sweeps.json, or "
+        "BENCH_tracesim.json for --suite tracesim)",
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=20_000,
+        help="tracesim suite: accesses per core (default 20000)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=4,
+        help="tracesim suite: independent sharded seed runs "
+        "(default 4)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="tracesim suite: dump cProfile stats for one simulated "
+        "epoch next to the report",
     )
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """CLI entry point for ``repro bench``."""
+    if args.suite == "tracesim":
+        return cmd_tracesim_bench(args)
     report = run_bench(
         figures=args.figures,
         jobs=args.jobs,

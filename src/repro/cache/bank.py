@@ -8,6 +8,31 @@ bank's shared DRRIP state. This module models all three surfaces:
 * content (tags + partition-constrained replacement),
 * ports (a busy-until timestamp per port, exposing queueing delay),
 * replacement state (shared policy object, e.g. DRRIP set-dueling).
+
+Implementation notes (the array-backed fast path)
+-------------------------------------------------
+The original implementation kept ``tags[set][way]`` / ``owners[set][way]``
+as nested Python lists and scanned them on every access; ``occupancy``
+and ``resident_partitions`` were O(sets x ways) scans. This version is
+bit-identical in behaviour (same hits, misses, evictions, victim ways,
+port waits, and DRRIP PSEL trajectory — property- and golden-tested
+against the frozen copy in ``repro.sim.reference``) but restructures the
+state for speed:
+
+* tags and owners live in *flat* arrays indexed ``set * ways + way``,
+  with a ``bytearray`` validity mask and a line -> slot hash map, so
+  lookup is O(1) instead of an O(ways) scan;
+* partitions are interned to small integer ids, and per-set / per-bank
+  line counts are maintained incrementally on fill, eviction, and
+  invalidation, so quota checks, ``occupancy`` and
+  ``resident_partitions`` are O(1) counter reads;
+* partition quotas are cached as an id-indexed list, invalidated via the
+  :class:`~repro.cache.partition.WayPartitioner` version counter;
+* the batched trace simulator calls :meth:`_access_core` directly,
+  skipping the per-access :class:`AccessResult` allocation.
+
+Partition objects must be hashable (they are interned in dicts); in
+practice they are ints, strings, or ``None``.
 """
 
 from __future__ import annotations
@@ -68,13 +93,30 @@ class CacheBank:
             policy, num_sets, num_ways
         )
         self.partitioner = WayPartitioner(num_ways)
-        # tags[set][way] = line address or None; owners[set][way] = partition.
-        self._tags: List[List[Optional[int]]] = [
-            [None] * num_ways for _ in range(num_sets)
+        num_slots = num_sets * num_ways
+        # Flat tag/owner arrays indexed set*ways + way. A slot is invalid
+        # iff its tag is None (mirrored in the _valid mask); invalid
+        # slots always carry owner id 0 (= partition None).
+        self._tag: List[Optional[int]] = [None] * num_slots
+        self._ownid: List[int] = [0] * num_slots
+        self._valid = bytearray(num_slots)
+        self._slot_of: Dict[int, int] = {}
+        # Partition interning: id 0 is reserved for None (unowned).
+        self._pobj: List[object] = [None]
+        self._pid_of: Dict[object, int] = {None: 0}
+        # _own_slots[pid] counts slots whose owner id is pid; for pid 0
+        # this includes invalid slots, matching the original "owner is
+        # None" scan semantics. _set_cnt[set][pid] is the same count
+        # restricted to one set (the owner_count quota input).
+        self._own_slots: List[int] = [num_slots]
+        self._set_cnt: List[List[int]] = [
+            [num_ways] for _ in range(num_sets)
         ]
-        self._owners: List[List[Optional[object]]] = [
-            [None] * num_ways for _ in range(num_sets)
-        ]
+        # Quota cache (partition-id indexed), keyed by partitioner version.
+        self._quota_version = -1
+        self._quota_by_pid: List[int] = [0]
+        self._has_quotas = False
+        self._all_ways: List[int] = list(range(num_ways))
         # Each port is modelled by the cycle at which it next becomes free.
         self._port_free: List[int] = [0] * num_ports
         # Statistics.
@@ -90,6 +132,27 @@ class CacheBank:
         """Set index of a line address within this bank."""
         return line_addr % self.num_sets
 
+    # -- legacy views (kept for tests and external inspection) ----------------
+
+    @property
+    def _tags(self) -> List[List[Optional[int]]]:
+        """``tags[set][way]`` view of the flat tag array (a copy)."""
+        w = self.num_ways
+        return [
+            self._tag[base : base + w]
+            for base in range(0, self.num_sets * w, w)
+        ]
+
+    @property
+    def _owners(self) -> List[List[Optional[object]]]:
+        """``owners[set][way]`` view of the owner ids (a copy)."""
+        w = self.num_ways
+        pobj = self._pobj
+        return [
+            [pobj[i] for i in self._ownid[base : base + w]]
+            for base in range(0, self.num_sets * w, w)
+        ]
+
     # -- port arbitration ------------------------------------------------------
 
     def _acquire_port(self, now: int) -> Tuple[int, int]:
@@ -99,53 +162,180 @@ class CacheBank:
         bank's access latency, which is what creates the queueing delay the
         port attack observes.
         """
-        idx = min(range(self.num_ports), key=lambda i: self._port_free[i])
-        start = max(now, self._port_free[idx])
+        ports = self._port_free
+        idx = 0
+        if self.num_ports > 1:
+            idx = min(range(self.num_ports), key=ports.__getitem__)
+        free = ports[idx]
+        start = free if free > now else now
         wait = start - now
-        self._port_free[idx] = start + self.latency
+        ports[idx] = start + self.latency
         if wait > 0:
             self.port_conflicts += 1
             self.total_port_wait += wait
         return wait, start
 
+    # -- partition interning ---------------------------------------------------
+
+    def _intern(self, partition: object) -> int:
+        """Small-integer id for a partition object (0 is None)."""
+        pid = self._pid_of.get(partition)
+        if pid is None:
+            pid = len(self._pobj)
+            self._pid_of[partition] = pid
+            self._pobj.append(partition)
+            self._own_slots.append(0)
+            for cnt in self._set_cnt:
+                cnt.append(0)
+            self._quota_version = -1  # quota cache must grow too
+        return pid
+
+    def _refresh_quotas(self) -> None:
+        """Rebuild the id-indexed quota cache from the partitioner."""
+        quotas = self.partitioner.partitions()
+        for p in quotas:
+            self._intern(p)
+        by_pid = [0] * len(self._pobj)
+        for p, q in quotas.items():
+            by_pid[self._pid_of[p]] = q
+        self._quota_by_pid = by_pid
+        self._has_quotas = bool(quotas)
+        self._quota_version = self.partitioner.version
+
     # -- lookup/fill -----------------------------------------------------------
 
     def _find(self, set_idx: int, line_addr: int) -> Optional[int]:
-        tags = self._tags[set_idx]
-        for way in range(self.num_ways):
-            if tags[way] == line_addr:
-                return way
-        return None
+        slot = self._slot_of.get(line_addr)
+        if slot is None or slot // self.num_ways != set_idx:
+            return None
+        return slot - set_idx * self.num_ways
 
-    def _eviction_candidates(
-        self, set_idx: int, partition: object
-    ) -> List[int]:
-        """Ways ``partition`` may fill into, honouring CAT quotas."""
-        owners = self._owners[set_idx]
-        tags = self._tags[set_idx]
-        # Invalid ways are always fair game.
-        invalid = [w for w in range(self.num_ways) if tags[w] is None]
-        owner_count = sum(1 for o in owners if o == partition)
-        candidates = [
-            w
-            for w in range(self.num_ways)
-            if tags[w] is not None
-            and self.partitioner.can_evict(partition, owners[w], owner_count)
-        ]
-        if invalid:
-            # Prefer claiming an invalid way when allowed to grow.
-            quota = self.partitioner.quota(partition)
-            if quota == 0 or owner_count < quota:
-                return invalid
+    def _pick_victim(
+        self, set_idx: int, base: int, pid: int
+    ) -> Tuple[int, int]:
+        """Choose the fill way for partition id ``pid`` in ``set_idx``.
+
+        Returns ``(way, evicted_pid)`` where ``evicted_pid`` is -1 when
+        an invalid way is claimed (no eviction). Mirrors the original
+        ``_eviction_candidates`` + invalid-preference logic exactly,
+        including the rare at-quota fallbacks.
+        """
+        ways = self.num_ways
+        valid = self._valid
+        inv = valid.find(0, base, base + ways)
+        if not self._has_quotas:
+            # No quotas programmed: every valid way is a candidate and
+            # invalid ways are preferred (the quota == 0 branch).
+            if inv >= 0:
+                return inv - base, -1
+            victim = self.policy.victim(set_idx, self._all_ways)
+            self.evictions += 1
+            return victim, self._ownid[base + victim]
+        quotas = self._quota_by_pid
+        filler_quota = quotas[pid]
+        owner_count = self._set_cnt[set_idx][pid]
+        if inv >= 0 and (filler_quota == 0 or owner_count < filler_quota):
+            return inv - base, -1
+        ownid = self._ownid
+        candidates = []
+        if filler_quota == 0:
+            # Unpartitioned filler: may evict unowned/shared lines only.
+            for w in range(ways):
+                s = base + w
+                if valid[s]:
+                    o = ownid[s]
+                    if o == 0 or quotas[o] == 0:
+                        candidates.append(w)
+        else:
+            under = owner_count < filler_quota
+            for w in range(ways):
+                s = base + w
+                if valid[s]:
+                    o = ownid[s]
+                    if o == pid or (under and (o == 0 or quotas[o] == 0)):
+                        candidates.append(w)
         if candidates:
-            return candidates
-        # A partition at quota with no own lines in this set (skewed
-        # distribution) must still make progress: fall back to its own
-        # lines anywhere, else any line.
-        own = [w for w in range(self.num_ways) if owners[w] == partition]
+            victim = self.policy.victim(set_idx, candidates)
+            self.evictions += 1
+            return victim, ownid[base + victim]
+        # A partition at quota with no evictable lines in this set must
+        # still make progress: fall back to its own lines, else any way.
+        own = [w for w in range(ways) if ownid[base + w] == pid]
         if own:
-            return own
-        return invalid if invalid else list(range(self.num_ways))
+            # pid 0 "owns" invalid ways; claiming one is not an eviction
+            # (the original returned them as candidates and the
+            # invalid-preference in access() picked the first).
+            for w in own:
+                if not valid[base + w]:
+                    return w, -1
+            victim = self.policy.victim(set_idx, own)
+            self.evictions += 1
+            return victim, ownid[base + victim]
+        if inv >= 0:
+            return inv - base, -1
+        victim = self.policy.victim(set_idx, self._all_ways)
+        self.evictions += 1
+        return victim, ownid[base + victim]
+
+    def _access_core(
+        self, line_addr: int, partition: object, now: int
+    ) -> Tuple[bool, int, int, int, int, int]:
+        """One access without the :class:`AccessResult` wrapper.
+
+        Returns ``(hit, set_idx, way, evicted_pid, port_wait, start)``
+        with ``evicted_pid`` -1 when nothing was evicted. This is the
+        kernel the batched trace simulator drives directly.
+        """
+        ports = self._port_free
+        if self.num_ports == 1:
+            free = ports[0]
+            start = free if free > now else now
+            ports[0] = start + self.latency
+        else:
+            idx = min(range(self.num_ports), key=ports.__getitem__)
+            free = ports[idx]
+            start = free if free > now else now
+            ports[idx] = start + self.latency
+        wait = start - now
+        if wait > 0:
+            self.port_conflicts += 1
+            self.total_port_wait += wait
+        set_idx = line_addr % self.num_sets
+        slot = self._slot_of.get(line_addr)
+        if slot is not None:
+            way = slot - set_idx * self.num_ways
+            self.hits += 1
+            self.policy.on_hit(set_idx, way)
+            return True, set_idx, way, -1, wait, start
+        # Miss path: notify the policy (set-dueling counts misses), choose
+        # a victim within partition constraints, install.
+        self.misses += 1
+        self.policy.on_miss(set_idx)
+        pid = self._pid_of.get(partition)
+        if pid is None:
+            pid = self._intern(partition)
+        if self._quota_version != self.partitioner.version:
+            self._refresh_quotas()
+        base = set_idx * self.num_ways
+        victim, evicted_pid = self._pick_victim(set_idx, base, pid)
+        slot = base + victim
+        old_tag = self._tag[slot]
+        if old_tag is not None:
+            del self._slot_of[old_tag]
+        else:
+            self._valid[slot] = 1
+        old_pid = self._ownid[slot]
+        if old_pid != pid:
+            self._ownid[slot] = pid
+            self._own_slots[old_pid] -= 1
+            self._own_slots[pid] += 1
+            cnt = self._set_cnt[set_idx]
+            cnt[old_pid] -= 1
+            cnt[pid] += 1
+        self._tag[slot] = line_addr
+        self._slot_of[line_addr] = slot
+        self.policy.on_fill(set_idx, victim)
+        return False, set_idx, victim, evicted_pid, wait, start
 
     def access(
         self, line_addr: int, partition: object = None, now: int = 0
@@ -156,42 +346,17 @@ class CacheBank:
         the caller via the memory model; the bank only tracks content and
         port occupancy).
         """
-        port_wait, start = self._acquire_port(now)
-        set_idx = self.set_index(line_addr)
-        way = self._find(set_idx, line_addr)
-        if way is not None:
-            self.hits += 1
-            self.policy.on_hit(set_idx, way)
-            return AccessResult(
-                hit=True,
-                set_idx=set_idx,
-                way=way,
-                evicted_owner=None,
-                port_wait=port_wait,
-                finish_time=start + self.latency,
-            )
-        # Miss path: notify the policy (set-dueling counts misses), choose
-        # a victim within partition constraints, install.
-        self.misses += 1
-        self.policy.on_miss(set_idx)
-        candidates = self._eviction_candidates(set_idx, partition)
-        evicted_owner: Optional[object] = None
-        invalid = [w for w in candidates if self._tags[set_idx][w] is None]
-        if invalid:
-            victim = invalid[0]
-        else:
-            victim = self.policy.victim(set_idx, candidates)
-            evicted_owner = self._owners[set_idx][victim]
-            self.evictions += 1
-        self._tags[set_idx][victim] = line_addr
-        self._owners[set_idx][victim] = partition
-        self.policy.on_fill(set_idx, victim)
+        hit, set_idx, way, evicted_pid, wait, start = self._access_core(
+            line_addr, partition, now
+        )
         return AccessResult(
-            hit=False,
+            hit=hit,
             set_idx=set_idx,
-            way=victim,
-            evicted_owner=evicted_owner,
-            port_wait=port_wait,
+            way=way,
+            evicted_owner=(
+                self._pobj[evicted_pid] if evicted_pid >= 0 else None
+            ),
+            port_wait=wait,
             finish_time=start + self.latency,
         )
 
@@ -199,22 +364,57 @@ class CacheBank:
 
     def contains(self, line_addr: int) -> bool:
         """Whether the bank currently holds ``line_addr``."""
-        return self._find(self.set_index(line_addr), line_addr) is not None
+        return line_addr in self._slot_of
 
     def occupancy(self, partition: object) -> int:
-        """Number of lines currently owned by ``partition``."""
-        return sum(
-            1
-            for owners in self._owners
-            for o in owners
-            if o == partition
-        )
+        """Number of lines currently owned by ``partition`` (O(1)).
+
+        As in the original scan, ``partition=None`` counts unowned slots,
+        which includes invalid ways.
+        """
+        pid = self._pid_of.get(partition)
+        return self._own_slots[pid] if pid is not None else 0
 
     def resident_partitions(self) -> set:
-        """All partitions with at least one line in the bank."""
+        """All partitions with at least one line in the bank (O(#partitions))."""
+        own = self._own_slots
         return {
-            o for owners in self._owners for o in owners if o is not None
+            self._pobj[pid]
+            for pid in range(1, len(own))
+            if own[pid] > 0
         }
+
+    def counters_match_scan(self) -> bool:
+        """Audit: do the incremental counters match a full scan?
+
+        Recomputes every per-set and per-bank ownership count from the
+        flat tag/owner arrays and compares with the incrementally
+        maintained values (used by the property tests; handy when
+        debugging partition bookkeeping).
+        """
+        ways = self.num_ways
+        own_slots = [0] * len(self._pobj)
+        for set_idx in range(self.num_sets):
+            base = set_idx * ways
+            cnt = [0] * len(self._pobj)
+            for w in range(ways):
+                slot = base + w
+                if (self._tag[slot] is None) != (not self._valid[slot]):
+                    return False
+                if self._tag[slot] is None and self._ownid[slot] != 0:
+                    return False
+                cnt[self._ownid[slot]] += 1
+                own_slots[self._ownid[slot]] += 1
+            if cnt != self._set_cnt[set_idx]:
+                return False
+        if own_slots != self._own_slots:
+            return False
+        expect_slots = {
+            slot: tag
+            for slot, tag in enumerate(self._tag)
+            if tag is not None
+        }
+        return {s: t for t, s in self._slot_of.items()} == expect_slots
 
     def invalidate_partition(self, partition: object) -> int:
         """Invalidate all lines of ``partition`` (coherence walk / flush).
@@ -222,26 +422,52 @@ class CacheBank:
         Returns the number of lines invalidated. This is the "walk the
         array in the background" mechanism Jigsaw/Jumanji use when data
         placement changes, and the flush Jumanji performs when VMs must
-        share a bank on context switch.
+        share a bank on context switch. (As in the original scan,
+        ``partition=None`` also counts already-invalid ways.)
         """
-        count = 0
-        for set_idx in range(self.num_sets):
-            for way in range(self.num_ways):
-                if self._owners[set_idx][way] == partition:
-                    self._tags[set_idx][way] = None
-                    self._owners[set_idx][way] = None
-                    count += 1
+        pid = self._pid_of.get(partition)
+        if pid is None:
+            return 0
+        count = self._own_slots[pid]
+        if count == 0:
+            return 0
+        ways = self.num_ways
+        tag = self._tag
+        ownid = self._ownid
+        valid = self._valid
+        remaining = count
+        for slot in range(len(tag)):
+            if ownid[slot] == pid:
+                t = tag[slot]
+                if t is not None:
+                    del self._slot_of[t]
+                    tag[slot] = None
+                    valid[slot] = 0
+                    if pid != 0:
+                        ownid[slot] = 0
+                        cnt = self._set_cnt[slot // ways]
+                        cnt[pid] -= 1
+                        cnt[0] += 1
+                remaining -= 1
+                if remaining == 0:
+                    break
+        if pid != 0:
+            self._own_slots[0] += count
+            self._own_slots[pid] = 0
         return count
 
     def flush(self) -> int:
         """Invalidate the whole bank; returns lines invalidated."""
-        count = 0
-        for set_idx in range(self.num_sets):
-            for way in range(self.num_ways):
-                if self._tags[set_idx][way] is not None:
-                    count += 1
-                self._tags[set_idx][way] = None
-                self._owners[set_idx][way] = None
+        count = len(self._slot_of)
+        num_slots = self.num_sets * self.num_ways
+        self._tag = [None] * num_slots
+        self._ownid = [0] * num_slots
+        self._valid = bytearray(num_slots)
+        self._slot_of.clear()
+        self._own_slots = [num_slots] + [0] * (len(self._pobj) - 1)
+        for cnt in self._set_cnt:
+            for pid in range(len(cnt)):
+                cnt[pid] = self.num_ways if pid == 0 else 0
         return count
 
     def reset_stats(self) -> None:

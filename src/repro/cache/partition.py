@@ -28,6 +28,17 @@ class WayPartitioner:
             raise ValueError("bank must have at least one way")
         self._num_ways = num_ways
         self._quota: Dict[object, int] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every quota change.
+
+        Banks cache quota lookups in interned-partition-id form; the
+        version lets them invalidate those caches without subscribing to
+        the partitioner.
+        """
+        return self._version
 
     @property
     def num_ways(self) -> int:
@@ -70,10 +81,12 @@ class WayPartitioner:
             self._quota.pop(partition, None)
         else:
             self._quota[partition] = ways
+        self._version += 1
 
     def clear(self) -> None:
         """Remove all partitions."""
         self._quota.clear()
+        self._version += 1
 
     def can_evict(
         self, filler: object, owner: Optional[object], owner_count: int

@@ -119,15 +119,25 @@ class _RripBase(ReplacementPolicy):
         if not candidates:
             raise ValueError("no eviction candidates")
         rrpvs = self._rrpv[set_idx]
-        # Age candidates until one reaches rrpv_max, then evict it. Aging
-        # only touches the candidate ways so partitions stay isolated in
-        # content (the *policy choice* is what leaks in DRRIP).
-        while True:
+        # Closed form of the hardware aging loop (age all candidates by 1
+        # until one reaches rrpv_max, evict the first such way): every
+        # candidate ages by the same amount, so the victim is the first
+        # candidate holding the maximum RRPV and the aging delta is
+        # rrpv_max minus that maximum. Aging only touches the candidate
+        # ways so partitions stay isolated in content (the *policy
+        # choice* is what leaks in DRRIP).
+        best = candidates[0]
+        top = rrpvs[best]
+        for way in candidates:
+            v = rrpvs[way]
+            if v > top:
+                top = v
+                best = way
+        delta = self.rrpv_max - top
+        if delta:
             for way in candidates:
-                if rrpvs[way] >= self.rrpv_max:
-                    return way
-            for way in candidates:
-                rrpvs[way] += 1
+                rrpvs[way] += delta
+        return best
 
     def on_hit(self, set_idx: int, way: int) -> None:
         """See :meth:`ReplacementPolicy.on_hit`."""
@@ -203,32 +213,39 @@ class DrripPolicy(_RripBase):
         self.psel = self.psel_max // 2
         self.leader_period = leader_period
         self._brrip_throttle = 0
+        self._psel_msb = 1 << (psel_bits - 1)
+        # Per-set role codes (0 = SRRIP leader, 1 = BRRIP leader,
+        # 2 = follower): the role test sits on every miss and fill, so
+        # it must not recompute the modulo / string compare each time.
+        half = leader_period // 2
+        self._role_code: List[int] = [
+            0 if i % leader_period == 0
+            else 1 if i % leader_period == half
+            else 2
+            for i in range(num_sets)
+        ]
 
     # -- set-dueling --------------------------------------------------------
 
     def set_role(self, set_idx: int) -> str:
         """'srrip', 'brrip', or 'follower' role of a set."""
-        phase = set_idx % self.leader_period
-        if phase == 0:
-            return "srrip"
-        if phase == self.leader_period // 2:
-            return "brrip"
-        return "follower"
+        return ("srrip", "brrip", "follower")[self._role_code[set_idx]]
 
     @property
     def follower_policy(self) -> str:
         """Policy currently used by follower sets."""
-        msb = 1 << (self.psel_bits - 1)
-        return "brrip" if self.psel & msb else "srrip"
+        return "brrip" if self.psel & self._psel_msb else "srrip"
 
     def on_miss(self, set_idx: int) -> None:
         """See :meth:`ReplacementPolicy.on_miss`."""
         self._check_set(set_idx)
-        role = self.set_role(set_idx)
-        if role == "srrip" and self.psel < self.psel_max:
-            self.psel += 1
-        elif role == "brrip" and self.psel > 0:
-            self.psel -= 1
+        code = self._role_code[set_idx]
+        if code == 0:
+            if self.psel < self.psel_max:
+                self.psel += 1
+        elif code == 1:
+            if self.psel > 0:
+                self.psel -= 1
 
     # -- insertion -----------------------------------------------------------
 
@@ -239,7 +256,10 @@ class DrripPolicy(_RripBase):
         return role
 
     def _insertion_rrpv(self, set_idx: int) -> int:
-        if self._policy_for_set(set_idx) == "srrip":
+        code = self._role_code[set_idx]
+        if code == 2:
+            code = 1 if self.psel & self._psel_msb else 0
+        if code == 0:
             return self.rrpv_max - 1
         self._brrip_throttle += 1
         if self._brrip_throttle % BrripPolicy.THROTTLE == 0:

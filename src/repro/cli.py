@@ -151,7 +151,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.epochs is not None:
         kwargs["epochs"] = args.epochs
     if args.jobs is not None and name in (
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18"
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "fig18",
     ):
         kwargs["jobs"] = args.jobs
     if name == "table2":

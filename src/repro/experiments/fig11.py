@@ -17,6 +17,7 @@ from ..sim.attack import (
     PortAttackSample,
     attack_signal_strength,
     run_port_attack,
+    run_port_attack_sharded,
 )
 
 __all__ = ["Fig11Result", "run", "format_table"]
@@ -47,11 +48,22 @@ class Fig11Result:
         return self.same_bank_avg - self.quiet_avg
 
 
-def run(config: Optional[PortAttackConfig] = None) -> Fig11Result:
-    """Run the experiment; returns its result object."""
+def run(
+    config: Optional[PortAttackConfig] = None,
+    jobs: Optional[int] = None,
+) -> Fig11Result:
+    """Run the experiment; returns its result object.
+
+    With ``jobs`` set, the attack trace and the quiet baseline run as
+    two parallel cells through the sweep runner (and its result cache);
+    both paths produce identical samples.
+    """
     cfg = config if config is not None else PortAttackConfig()
-    samples = run_port_attack(cfg, include_victim=True)
-    baseline = run_port_attack(cfg, include_victim=False)
+    if jobs is None:
+        samples = run_port_attack(cfg, include_victim=True)
+        baseline = run_port_attack(cfg, include_victim=False)
+    else:
+        samples, baseline = run_port_attack_sharded(cfg, jobs=jobs)
     same, other, quiet = attack_signal_strength(
         samples, cfg.attacker_bank
     )

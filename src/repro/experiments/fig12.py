@@ -92,16 +92,22 @@ def run(
     accesses: int = 20_000,
     config: Optional[SystemConfig] = None,
     seed: int = 3,
+    jobs: Optional[int] = None,
 ) -> Fig12Result:
-    """Run the experiment; returns its result object."""
+    """Run the experiment; returns its result object.
+
+    ``jobs`` shards the (independent) DRRIP bank simulations — one cell
+    per mix per bank configuration — over the sweep runner; the serial
+    and sharded paths produce identical miss rates and tails.
+    """
     config = config if config is not None else SystemConfig()
     shared = run_leakage_experiment(
         num_mixes=num_mixes, accesses=accesses, shared_bank=True,
-        seed=seed,
+        seed=seed, jobs=jobs,
     )
     isolated = run_leakage_experiment(
         num_mixes=num_mixes, accesses=accesses, shared_bank=False,
-        seed=seed,
+        seed=seed, jobs=jobs,
     )
     result = Fig12Result(num_mixes=num_mixes)
     result.shared_miss_rates = [r.victim_miss_rate for r in shared]

@@ -262,9 +262,11 @@ def register_cell_kind(
 
 def _handler_for(kind: str) -> Callable[..., Any]:
     if kind not in _CELL_KINDS:
-        # Built-in handlers live in the experiment modules; importing
-        # the package registers all of them.
+        # Built-in handlers live in the experiment, attack, shard, and
+        # validation modules; importing them registers all of them.
         from . import experiments  # noqa: F401
+        from .model import validation  # noqa: F401
+        from .sim import attack, shard  # noqa: F401
     try:
         return _CELL_KINDS[kind]
     except KeyError:

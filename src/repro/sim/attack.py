@@ -23,12 +23,13 @@ structures that conventional way-partitioning does not defend:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cache.bank import CacheBank
+from ..runner import Cell, SweepRunner, register_cell_kind
 from ..workloads.traces import (
     AddressTrace,
     DoublePassTrace,
@@ -41,6 +42,8 @@ __all__ = [
     "PortAttackConfig",
     "PortAttackSample",
     "run_port_attack",
+    "run_port_attack_sharded",
+    "samples_from_rows",
     "LeakageResult",
     "run_leakage_experiment",
 ]
@@ -214,6 +217,72 @@ def run_port_attack(
     return samples
 
 
+@register_cell_kind("port_attack")
+def _port_attack_cell(
+    config: Dict[str, object],
+    include_victim: bool,
+    bank_isolated: bool,
+) -> List[List[object]]:
+    """One full port-attack run as a sweep cell.
+
+    ``config`` is a :class:`PortAttackConfig` as a plain dict (the cell's
+    cache identity must be JSON data). Samples come back as
+    ``[wall_time, avg_access_cycles, victim_bank]`` rows;
+    :func:`samples_from_rows` rebuilds the dataclasses.
+    """
+    samples = run_port_attack(
+        PortAttackConfig(**config),
+        include_victim=include_victim,
+        bank_isolated=bank_isolated,
+    )
+    return [
+        [s.wall_time, s.avg_access_cycles, s.victim_bank]
+        for s in samples
+    ]
+
+
+def samples_from_rows(
+    rows: Sequence[Sequence[object]],
+) -> List[PortAttackSample]:
+    """Rebuild :class:`PortAttackSample` objects from cell-result rows."""
+    return [
+        PortAttackSample(
+            wall_time=int(row[0]),
+            avg_access_cycles=float(row[1]),
+            victim_bank=None if row[2] is None else int(row[2]),
+        )
+        for row in rows
+    ]
+
+
+def run_port_attack_sharded(
+    config: Optional[PortAttackConfig] = None,
+    variants: Sequence[Tuple[bool, bool]] = ((True, False), (False, False)),
+    jobs: Optional[int] = None,
+) -> List[List[PortAttackSample]]:
+    """Run several port-attack variants as parallel cells.
+
+    ``variants`` lists ``(include_victim, bank_isolated)`` pairs; the
+    default is the attack trace plus the quiet baseline that Fig. 11
+    plots. Each variant is an independent simulation, so they shard
+    cleanly over the runner pool and memoise in the result cache.
+    """
+    cfg = config if config is not None else PortAttackConfig()
+    cells = [
+        Cell(
+            "port_attack",
+            {
+                "config": asdict(cfg),
+                "include_victim": include_victim,
+                "bank_isolated": bank_isolated,
+            },
+        )
+        for include_victim, bank_isolated in variants
+    ]
+    rows = SweepRunner(jobs=jobs).map(cells)
+    return [samples_from_rows(r) for r in rows]
+
+
 def attack_signal_strength(
     samples: Sequence[PortAttackSample], attacker_bank: int = 0
 ) -> Tuple[float, float, float]:
@@ -295,6 +364,55 @@ def _batch_trace(seed: int) -> AddressTrace:
     )
 
 
+@register_cell_kind("leakage_mix")
+def _leakage_mix_cell(
+    mix: int,
+    accesses: int,
+    victim_ways: int,
+    num_ways: int,
+    num_sets: int,
+    shared_bank: bool,
+    seed: int,
+) -> Dict[str, object]:
+    """One batch mix of the Fig. 12 leakage experiment.
+
+    Each mix builds its own bank and traces from ``(seed, mix)`` alone,
+    so mixes are independent cells: the sharded run is access-for-access
+    identical to the serial loop, and the content-addressed cache can
+    reuse any mix whose inputs did not change.
+    """
+    bank = CacheBank(
+        num_sets=num_sets,
+        num_ways=num_ways,
+        latency=13,
+        policy="drrip",
+    )
+    bank.partitioner.set_quota("victim", victim_ways)
+    if shared_bank:
+        bank.partitioner.set_quota("batch", num_ways - victim_ways)
+    victim = _victim_trace(seed)
+    batch = _batch_trace(seed * 1000 + mix)
+    v_hits = v_misses = 0
+    for i in range(accesses):
+        res = bank.access(victim.next_line(), partition="victim", now=i)
+        if res.hit:
+            v_hits += 1
+        else:
+            v_misses += 1
+        if shared_bank:
+            # Batch co-runner issues several accesses per victim access
+            # (it is not rate-limited by request think time).
+            for _ in range(3):
+                bank.access(batch.next_line(), partition="batch", now=i)
+    total = v_hits + v_misses
+    return {
+        "mix_seed": mix,
+        "victim_miss_rate": v_misses / total,
+        "follower_policy": getattr(bank.policy, "follower_policy", "n/a"),
+        "shared_bank": shared_bank,
+    }
+
+
 def run_leakage_experiment(
     num_mixes: int = 20,
     accesses: int = 40_000,
@@ -303,6 +421,7 @@ def run_leakage_experiment(
     num_sets: int = 256,
     shared_bank: bool = True,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> List[LeakageResult]:
     """Victim miss rates across batch mixes with a *fixed* partition.
 
@@ -314,45 +433,30 @@ def run_leakage_experiment(
 
     The spread of ``victim_miss_rate`` across mixes is the leakage signal
     of the paper's Fig. 12.
+
+    ``jobs=None`` runs the mixes serially in-process. Any other value
+    shards the (independent) mixes over the sweep runner's process pool
+    and result cache; results are identical either way.
     """
     if num_mixes < 1:
         raise ValueError("need at least one mix")
-    results: List[LeakageResult] = []
-    for mix in range(num_mixes):
-        bank = CacheBank(
-            num_sets=num_sets,
-            num_ways=num_ways,
-            latency=13,
-            policy="drrip",
-        )
-        bank.partitioner.set_quota("victim", victim_ways)
-        if shared_bank:
-            bank.partitioner.set_quota(
-                "batch", num_ways - victim_ways
-            )
-        victim = _victim_trace(seed)
-        batch = _batch_trace(seed * 1000 + mix)
-        v_hits = v_misses = 0
-        for i in range(accesses):
-            res = bank.access(victim.next_line(), partition="victim", now=i)
-            if res.hit:
-                v_hits += 1
-            else:
-                v_misses += 1
-            if shared_bank:
-                # Batch co-runner issues several accesses per victim access
-                # (it is not rate-limited by request think time).
-                for _ in range(3):
-                    bank.access(batch.next_line(), partition="batch", now=i)
-        total = v_hits + v_misses
-        results.append(
-            LeakageResult(
-                mix_seed=mix,
-                victim_miss_rate=v_misses / total,
-                follower_policy=getattr(
-                    bank.policy, "follower_policy", "n/a"
-                ),
-                shared_bank=shared_bank,
-            )
-        )
-    return results
+    params = {
+        "accesses": accesses,
+        "victim_ways": victim_ways,
+        "num_ways": num_ways,
+        "num_sets": num_sets,
+        "shared_bank": shared_bank,
+        "seed": seed,
+    }
+    if jobs is None:
+        rows = [
+            _leakage_mix_cell(mix=mix, **params)
+            for mix in range(num_mixes)
+        ]
+    else:
+        cells = [
+            Cell("leakage_mix", {"mix": mix, **params})
+            for mix in range(num_mixes)
+        ]
+        rows = SweepRunner(jobs=jobs).map(cells)
+    return [LeakageResult(**row) for row in rows]

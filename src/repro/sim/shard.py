@@ -1,0 +1,102 @@
+"""Sharded trace-simulator runs over the sweep-runner pool.
+
+A trace-driven run is deterministic in its inputs (workload specs,
+placement, partitioning, rounds), so independent per-seed runs are
+perfect sweep cells: they fan out over the ``repro.runner`` process
+pool and memoise in the content-addressed result cache exactly like the
+analytic-figure cells. The ``tracesim_run`` cell kind defined here is
+what ``repro bench --suite tracesim`` shards, and what future
+trace-backed figures should reuse instead of hand-rolled loops.
+
+A cell's parameters are plain JSON (traces are
+:func:`~repro.workloads.traces.trace_from_spec` specs, placements are
+bank-id lists), so the cache key captures everything that can affect
+the result; the code fingerprint in every key handles the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..runner import Cell, SweepRunner, register_cell_kind
+from ..vtb.vtb import DESCRIPTOR_ENTRIES, PlacementDescriptor
+from ..workloads.traces import trace_from_spec
+from .tracesim import TraceSimulator
+
+__all__ = ["run_tracesim_cell", "shard_tracesim_runs"]
+
+
+def _descriptor_for_banks(banks: Sequence[int]) -> PlacementDescriptor:
+    """Round-robin descriptor spreading a VC evenly over ``banks``."""
+    if not banks:
+        raise ValueError("placement needs at least one bank")
+    return PlacementDescriptor(
+        [banks[i % len(banks)] for i in range(DESCRIPTOR_ENTRIES)]
+    )
+
+
+@register_cell_kind("tracesim_run")
+def run_tracesim_cell(
+    cores: Sequence[Mapping[str, Any]],
+    rounds: int,
+    bank_sets: Optional[int] = None,
+    policy: str = "drrip",
+    config: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One complete trace-driven run, described entirely by JSON data.
+
+    ``cores`` is a list of ``{"core_id", "trace", "banks"}`` mappings —
+    ``trace`` a :func:`trace_from_spec` spec, ``banks`` the bank ids the
+    core's VC spreads over round-robin; optional keys ``vc_id`` (default
+    ``core_id``) and ``partition`` (a string partition label). Returns
+    per-core :class:`~repro.sim.tracesim.TraceStats` as dicts plus the
+    aggregate totals the benchmark reports.
+    """
+    cfg = SystemConfig(**config) if config else SystemConfig()
+    sim = TraceSimulator(config=cfg, policy=policy, bank_sets=bank_sets)
+    for spec in cores:
+        spec = dict(spec)
+        core_id = spec["core_id"]
+        sim.add_core(
+            core_id,
+            trace_from_spec(spec["trace"]),
+            vc_id=spec.get("vc_id", core_id),
+            descriptor=_descriptor_for_banks(spec["banks"]),
+            partition=spec.get("partition"),
+        )
+    sim.run(rounds)
+    per_core = {
+        str(core): asdict(stats) for core, stats in sim.stats().items()
+    }
+    totals = {
+        "accesses": sum(s["accesses"] for s in per_core.values()),
+        "llc_accesses": sum(
+            s["llc_accesses"] for s in per_core.values()
+        ),
+        "llc_hits": sum(s["llc_hits"] for s in per_core.values()),
+        "llc_misses": sum(s["llc_misses"] for s in per_core.values()),
+        "mem_accesses": sum(
+            s["mem_accesses"] for s in per_core.values()
+        ),
+    }
+    return {"per_core": per_core, "totals": totals}
+
+
+def shard_tracesim_runs(
+    run_specs: Sequence[Mapping[str, Any]],
+    jobs: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
+) -> Tuple[List[Dict[str, Any]], SweepRunner]:
+    """Fan independent trace runs over the pool, through the cache.
+
+    Each element of ``run_specs`` is one :func:`run_tracesim_cell`
+    parameter set. Returns the per-run results (submission order) and
+    the runner used, whose ``stats`` record cells computed vs. served
+    from the cache — ``repro bench`` reports exactly those numbers.
+    """
+    if runner is None:
+        runner = SweepRunner(jobs=jobs)
+    cells = [Cell("tracesim_run", dict(spec)) for spec in run_specs]
+    return runner.map(cells), runner

@@ -6,6 +6,33 @@ layer: it exercises the same code paths a ZSim-style simulator would
 (lookup L1 -> L2 -> hash through the placement descriptor -> bank access
 with port arbitration -> memory on miss) and is used to validate the
 analytic layer and to run the microarchitectural experiments.
+
+Fast path
+---------
+:meth:`TraceSimulator.run` processes traces in *chunks* of round-robin
+rounds instead of one access at a time, while remaining bit-identical to
+the original per-access loop (the frozen copy lives in
+``repro.sim.reference`` and the equivalence is property- and
+golden-tested):
+
+1. each core's chunk of addresses is filtered through its L1/L2 in one
+   batched pass (:meth:`PrivateCache.access_block`);
+2. the surviving LLC accesses are mapped to banks with one vectorized
+   splitmix64 pass over the whole chunk
+   (:func:`repro.vtb.vtb.hash_lines`);
+3. per-access clocks are reconstructed arithmetically (the access of the
+   j-th core in round r happens at ``base + r * num_cores + j``), the
+   per-core streams are merged into global clock order with one argsort,
+   and the merged stream drives the banks' array-backed access kernel;
+4. NoC round-trips, hop counts, and memory latencies come from tables
+   precomputed per (core, bank) pair rather than per-access mesh walks.
+
+The scalar :meth:`TraceSimulator._access_one` is kept (and used by the
+reference tests); ``llc_access_hook`` fires in exactly the original
+global order. The one caveat of chunking: a hook that *mutates*
+placement (VTB descriptors or quotas) mid-run would see its effect
+delayed to the next chunk — no production hook does (UMONs only
+observe); reconfiguration happens between :meth:`run` calls.
 """
 
 from __future__ import annotations
@@ -13,13 +40,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..cache.bank import CacheBank
 from ..config import LINE_BYTES, SystemConfig
 from ..noc.mesh import MeshNoc
-from ..vtb.vtb import PlacementDescriptor, Vtb
+from ..vtb.vtb import DESCRIPTOR_ENTRIES, PlacementDescriptor, Vtb, hash_lines
 from ..workloads.traces import AddressTrace
 
 __all__ = ["PrivateCache", "CoreContext", "TraceSimulator", "TraceStats"]
+
+#: Target number of trace accesses (across all cores) per batched chunk.
+#: Large enough to amortise the numpy per-chunk overhead, small enough to
+#: keep the working set of per-chunk arrays cache-resident.
+CHUNK_ACCESSES = 8192
 
 
 class PrivateCache:
@@ -27,6 +61,14 @@ class PrivateCache:
 
     Private caches need no partitioning or port model; they exist so the
     LLC sees a realistically filtered access stream.
+
+    LRU order is tracked with per-set insertion-ordered dicts (the
+    move-to-end idiom): a hit deletes and reinserts the line so the
+    oldest entry is always the least recently used, and a miss on a full
+    set evicts ``next(iter(d))``. This is exactly the most-recent-first
+    list model of the original implementation (the frozen copy in
+    ``repro.sim.reference``) with O(1) hit detection and eviction
+    instead of O(ways) list scans.
     """
 
     def __init__(self, size_kb: int, ways: int, latency: int):
@@ -38,39 +80,66 @@ class PrivateCache:
         self.num_sets = num_lines // ways
         self.ways = ways
         self.latency = latency
-        # Per-set LRU order, most recent first.
-        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        # Per-set insertion-ordered line set (values unused); the first
+        # key is the LRU line.
+        self._lru: List[Dict[int, None]] = [
+            {} for _ in range(self.num_sets)
+        ]
         self.hits = 0
         self.misses = 0
 
     def access(self, line_addr: int) -> bool:
         """Access a line; returns True on hit. Fills on miss."""
-        s = self._sets[line_addr % self.num_sets]
-        try:
-            s.remove(line_addr)
-            s.insert(0, line_addr)
+        d = self._lru[line_addr % self.num_sets]
+        if line_addr in d:
+            del d[line_addr]  # move to most-recent (reinsert at end)
+            d[line_addr] = None
             self.hits += 1
             return True
-        except ValueError:
-            self.misses += 1
-            if len(s) >= self.ways:
-                s.pop()
-            s.insert(0, line_addr)
-            return False
+        self.misses += 1
+        if len(d) >= self.ways:
+            del d[next(iter(d))]
+        d[line_addr] = None
+        return False
+
+    def access_block(self, lines: Sequence[int]) -> List[int]:
+        """Batched :meth:`access`; returns the indices that missed.
+
+        Processes ``lines`` in order and returns the positions (indices
+        into ``lines``) of the misses, preserving order — the filtered
+        stream the next cache level sees.
+        """
+        miss_idx: List[int] = []
+        append = miss_idx.append
+        sets = self._lru
+        num_sets = self.num_sets
+        ways = self.ways
+        for i, line in enumerate(lines):
+            d = sets[line % num_sets]
+            if line in d:
+                del d[line]
+                d[line] = None
+            else:
+                append(i)
+                if len(d) >= ways:
+                    del d[next(iter(d))]
+                d[line] = None
+        self.hits += len(lines) - len(miss_idx)
+        self.misses += len(miss_idx)
+        return miss_idx
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop a line if present (inclusive-LLC back-invalidation)."""
-        s = self._sets[line_addr % self.num_sets]
-        try:
-            s.remove(line_addr)
+        d = self._lru[line_addr % self.num_sets]
+        if line_addr in d:
+            del d[line_addr]
             return True
-        except ValueError:
-            return False
+        return False
 
     def flush(self) -> None:
         """Drop all lines."""
-        for s in self._sets:
-            s.clear()
+        for d in self._lru:
+            d.clear()
 
 
 @dataclass
@@ -155,6 +224,26 @@ class TraceSimulator:
         #: Optional hook invoked as ``hook(core_id, line_addr)`` on every
         #: LLC access — where UMON hardware taps the stream.
         self.llc_access_hook = None
+        # Precomputed NoC tables: round-trip latency and doubled hop
+        # count per (requester tile, bank tile), plus the per-bank
+        # memory-access extras (nearest controller round trip + DRAM).
+        nb = self.config.num_banks
+        nc = self.config.num_cores
+        noc = self.noc
+        self._rtt: List[List[int]] = [
+            [noc.round_trip(c, b) for b in range(nb)] for c in range(nc)
+        ]
+        self._hops2: List[List[int]] = [
+            [2 * noc.hops(c, b) for b in range(nb)] for c in range(nc)
+        ]
+        mem_tiles = [noc.nearest_mem_tile(b) for b in range(nb)]
+        self._mem_extra: List[int] = [
+            self.config.mem_latency + noc.round_trip(b, mem_tiles[b])
+            for b in range(nb)
+        ]
+        self._mem_hops2: List[int] = [
+            2 * noc.hops(b, mem_tiles[b]) for b in range(nb)
+        ]
 
     # -- setup -----------------------------------------------------------------
 
@@ -232,6 +321,8 @@ class TraceSimulator:
     # -- execution -------------------------------------------------------------
 
     def _access_one(self, ctx: CoreContext) -> None:
+        """Scalar single-access path (the chunked :meth:`run` is
+        bit-identical to iterating this)."""
         line = ctx.trace.next_line()
         ctx.accesses += 1
         latency = self.config.l1_latency
@@ -277,14 +368,130 @@ class TraceSimulator:
         ctx.total_latency += latency
         self._clock += 1
 
+    def _bank_ids(self, ctx: CoreContext, lines: List[int]) -> List[int]:
+        """Bank id for each line of one core's LLC stream (batched)."""
+        if ctx.page_table is None:
+            return self.vtb.lookup(ctx.vc_id).bank_for_lines(lines)
+        # Per-page VCs: resolve the VC per line (dict lookups), sharing
+        # one vectorized hash pass across all descriptors.
+        try:
+            idxs = (
+                hash_lines(lines) % np.uint64(DESCRIPTOR_ENTRIES)
+            ).tolist()
+        except OverflowError:
+            idxs = None
+        vc_of_address = ctx.page_table.vc_of_address
+        lookup = self.vtb.lookup
+        default_vc = ctx.vc_id
+        entries_of: Dict[int, Tuple[int, ...]] = {}
+        out: List[int] = []
+        for i, line in enumerate(lines):
+            try:
+                vc = vc_of_address(line << 6)
+            except KeyError:
+                vc = default_vc  # unmapped pages use the default VC
+            entries = entries_of.get(vc)
+            if entries is None:
+                entries = lookup(vc).entries
+                entries_of[vc] = entries
+            if idxs is None:
+                out.append(lookup(vc).bank_for(line))
+            else:
+                out.append(entries[idxs[i]])
+        return out
+
+    def _run_chunk(self, order: List[int], rounds: int) -> None:
+        """Simulate ``rounds`` round-robin rounds as one batched chunk."""
+        cfg = self.config
+        num_cores = len(order)
+        base = self._clock
+        now_parts: List[np.ndarray] = []
+        flat_lines: List[int] = []
+        flat_banks: List[int] = []
+        flat_cores: List[int] = []
+        for j, core_id in enumerate(order):
+            ctx = self.cores[core_id]
+            lines = ctx.trace.lines(rounds)
+            ctx.accesses += rounds
+            l1_miss = ctx.l1.access_block(lines)
+            l1_lines = [lines[i] for i in l1_miss]
+            l2_miss = ctx.l2.access_block(l1_lines)
+            ctx.total_latency += (
+                rounds * cfg.l1_latency + len(l1_lines) * cfg.l2_latency
+            )
+            if not l2_miss:
+                continue
+            llc_lines = [l1_lines[i] for i in l2_miss]
+            # The access of core position j in round r happens at global
+            # clock base + r*num_cores + j (one slot per core access).
+            llc_rounds = np.fromiter(
+                (l1_miss[i] for i in l2_miss),
+                dtype=np.int64,
+                count=len(l2_miss),
+            )
+            now_parts.append(base + llc_rounds * num_cores + j)
+            flat_lines.extend(llc_lines)
+            flat_banks.extend(self._bank_ids(ctx, llc_lines))
+            flat_cores.extend([core_id] * len(llc_lines))
+        self._clock = base + rounds * num_cores
+        if not now_parts:
+            return
+        all_now = np.concatenate(now_parts)
+        merge_order = np.argsort(all_now).tolist()
+        now_list = all_now.tolist()
+        # Merged global-clock-order replay against the banks.
+        hook = self.llc_access_hook
+        banks = self.banks
+        rtt = self._rtt
+        hops2 = self._hops2
+        mem_extra = self._mem_extra
+        mem_hops2 = self._mem_hops2
+        nc = self.config.num_cores
+        partition_of: List[object] = [None] * nc
+        # Per-core accumulators: llc accesses, hits, mem, latency, hops.
+        acc: List[List[int]] = [None] * nc  # type: ignore[list-item]
+        for cid, ctx in self.cores.items():
+            partition_of[cid] = ctx.partition
+            acc[cid] = [0, 0, 0, 0, 0]
+        for k in merge_order:
+            core = flat_cores[k]
+            line = flat_lines[k]
+            b = flat_banks[k]
+            if hook is not None:
+                hook(core, line)
+            bank = banks[b]
+            hit = bank._access_core(line, partition_of[core], now_list[k])[0]
+            a = acc[core]
+            a[0] += 1
+            a[3] += rtt[core][b] + bank.latency
+            a[4] += hops2[core][b]
+            if hit:
+                a[1] += 1
+            else:
+                a[2] += 1
+                a[3] += mem_extra[b]
+                a[4] += mem_hops2[b]
+        for cid, ctx in self.cores.items():
+            llc, hits, mem, lat, hops = acc[cid]
+            ctx.llc_accesses += llc
+            ctx.llc_hits += hits
+            ctx.mem_accesses += mem
+            ctx.total_latency += lat
+            ctx.total_noc_hops += hops
+
     def run(self, accesses_per_core: int) -> Dict[int, TraceStats]:
         """Interleave ``accesses_per_core`` accesses from every core."""
         if accesses_per_core < 1:
             raise ValueError("need at least one access per core")
         order = sorted(self.cores)
-        for _ in range(accesses_per_core):
-            for core_id in order:
-                self._access_one(self.cores[core_id])
+        if not order:
+            return self.stats()
+        chunk_rounds = max(1, CHUNK_ACCESSES // len(order))
+        remaining = accesses_per_core
+        while remaining:
+            rounds = min(chunk_rounds, remaining)
+            self._run_chunk(order, rounds)
+            remaining -= rounds
         return self.stats()
 
     def stats(self) -> Dict[int, TraceStats]:

@@ -19,12 +19,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = [
     "PlacementDescriptor",
     "VirtualCache",
     "Vtb",
     "PageTable",
     "descriptor_from_allocation",
+    "hash_lines",
 ]
 
 #: Number of entries in a placement descriptor (paper: 128).
@@ -41,10 +44,24 @@ def _hash_address(line_addr: int) -> int:
     return x ^ (x >> 31)
 
 
+def hash_lines(lines: Sequence[int]) -> np.ndarray:
+    """Vectorized :func:`_hash_address` over a batch of line addresses.
+
+    Returns a ``uint64`` array; identical to the scalar hash for every
+    address below 2**64 (uint64 arithmetic wraps exactly like the masked
+    Python version). Raises ``OverflowError`` for wider addresses —
+    callers fall back to the scalar hash in that case.
+    """
+    x = np.asarray(lines, dtype=np.uint64)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
 class PlacementDescriptor:
     """A 128-entry array of bank ids; the hardware's placement table."""
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_entries_np")
 
     def __init__(self, entries: Sequence[int]):
         if len(entries) != DESCRIPTOR_ENTRIES:
@@ -54,15 +71,31 @@ class PlacementDescriptor:
         if any(e < 0 for e in entries):
             raise ValueError("bank ids must be non-negative")
         self._entries: Tuple[int, ...] = tuple(int(e) for e in entries)
+        self._entries_np: Optional[np.ndarray] = None
 
     @property
     def entries(self) -> Tuple[int, ...]:
         """The descriptor's 128 bank ids."""
         return self._entries
 
+    @property
+    def entries_array(self) -> np.ndarray:
+        """The 128 bank ids as an int64 array (built lazily, cached)."""
+        if self._entries_np is None:
+            self._entries_np = np.asarray(self._entries, dtype=np.int64)
+        return self._entries_np
+
     def bank_for(self, line_addr: int) -> int:
         """LLC bank holding ``line_addr`` under this placement."""
         return self._entries[_hash_address(line_addr) % DESCRIPTOR_ENTRIES]
+
+    def bank_for_lines(self, lines: Sequence[int]) -> List[int]:
+        """Vectorized :meth:`bank_for` over a batch of line addresses."""
+        try:
+            idx = hash_lines(lines) % np.uint64(DESCRIPTOR_ENTRIES)
+        except OverflowError:
+            return [self.bank_for(line) for line in lines]
+        return self.entries_array[idx.astype(np.intp)].tolist()
 
     def banks(self) -> Tuple[int, ...]:
         """Distinct banks this descriptor spreads data across."""

@@ -30,6 +30,8 @@ __all__ = [
     "WorkingSetTrace",
     "ZipfTrace",
     "MixedTrace",
+    "ReplayTrace",
+    "trace_from_spec",
 ]
 
 
@@ -213,3 +215,93 @@ class MixedTrace(AddressTrace):
             if u <= edge:
                 return comp.next_line()
         return self.components[-1].next_line()
+
+
+class ReplayTrace(AddressTrace):
+    """Replays a pregenerated list of line addresses, wrapping around.
+
+    Used by the tracesim benchmark (and anywhere two simulators must see
+    byte-identical streams without paying generation twice): materialise
+    a stream once with any generator's :meth:`~AddressTrace.lines`, then
+    hand each simulator its own ``ReplayTrace``. :meth:`lines` is an
+    O(count) slice, so replay adds almost nothing to the measured
+    simulator time.
+    """
+
+    def __init__(self, lines: Sequence[int]):
+        super().__init__(0)
+        if not lines:
+            raise ValueError("need at least one line to replay")
+        self._lines: List[int] = list(lines)
+        self._pos = 0
+
+    def next_line(self) -> int:
+        """The next recorded line address, wrapping at the end."""
+        line = self._lines[self._pos]
+        self._pos += 1
+        if self._pos == len(self._lines):
+            self._pos = 0
+        return line
+
+    def lines(self, count: int) -> List[int]:
+        """The next ``count`` recorded lines (one or two list slices)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        out: List[int] = []
+        src = self._lines
+        pos = self._pos
+        while count:
+            take = min(count, len(src) - pos)
+            out.extend(src[pos : pos + take])
+            pos += take
+            if pos == len(src):
+                pos = 0
+            count -= take
+        self._pos = pos
+        return out
+
+#: Trace classes reachable from :func:`trace_from_spec`, by spec kind.
+_SPEC_KINDS = {
+    "streaming": StreamingTrace,
+    "working_set": WorkingSetTrace,
+    "zipf": ZipfTrace,
+    "double_pass": DoublePassTrace,
+}
+
+
+def trace_from_spec(spec) -> AddressTrace:
+    """Build a trace from a JSON-friendly ``{"kind": ..., ...}`` spec.
+
+    Sharded runs (``repro.runner``) identify a cell by the canonical
+    JSON of its parameters, so the traces a cell consumes must be
+    expressible as plain data rather than live objects. Every generator
+    above is covered::
+
+        {"kind": "zipf", "num_lines": 4096, "alpha": 0.9, "seed": 7}
+        {"kind": "mixed", "seed": 1, "weights": [3, 1],
+         "components": [{"kind": "streaming", ...}, ...]}
+
+    Keys other than ``kind`` (and, for ``mixed``, ``components`` /
+    ``weights`` / ``seed``) are passed to the generator's constructor
+    unchanged, so specs validate exactly like direct construction.
+    """
+    spec = dict(spec)
+    try:
+        kind = spec.pop("kind")
+    except KeyError:
+        raise ValueError("trace spec needs a 'kind' entry") from None
+    if kind == "mixed":
+        components = [
+            trace_from_spec(c) for c in spec.pop("components", [])
+        ]
+        return MixedTrace(components, **spec)
+    if kind == "replay":
+        return ReplayTrace(spec.pop("lines"))
+    try:
+        cls = _SPEC_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace kind {kind!r}; choose from "
+            f"{sorted(_SPEC_KINDS) + ['mixed', 'replay']}"
+        ) from None
+    return cls(**spec)

@@ -169,3 +169,52 @@ class TestDrripIntegration:
         for i in range(5):
             bank.access(i * 64, now=i)
         assert bank.policy.psel > start
+
+
+class TestIncrementalCounters:
+    """The O(1) occupancy/residency counters always match a full scan.
+
+    ``occupancy`` and ``resident_partitions`` are maintained
+    incrementally on fill/evict/invalidate/flush instead of scanning
+    sets x ways; ``counters_match_scan`` recomputes everything from the
+    tag/owner arrays and compares.
+    """
+
+    def test_counters_match_scan_through_random_workload(self):
+        import random
+
+        rng = random.Random(1234)
+        bank = CacheBank(16, 8, policy="drrip")
+        bank.partitioner.set_quota("A", 3)
+        bank.partitioner.set_quota("B", 2)
+        partitions = [None, "A", "B", "C"]
+        for now in range(2000):
+            bank.access(
+                rng.randrange(16 * 6), rng.choice(partitions), now=now
+            )
+            if now == 700:
+                bank.partitioner.set_quota("C", 2)
+            if now == 1000:
+                bank.invalidate_partition("A")
+            if now == 1400:
+                bank.invalidate_partition(None)
+            if now % 500 == 499:
+                assert bank.counters_match_scan()
+        assert bank.counters_match_scan()
+        bank.flush()
+        assert bank.counters_match_scan()
+        assert bank.resident_partitions() == set()
+
+    def test_occupancy_matches_owner_scan(self):
+        bank = CacheBank(8, 4)
+        for i in range(40):
+            bank.access(i, partition="x" if i % 2 else "y", now=i)
+        for part in ("x", "y", None, "missing"):
+            scanned = sum(
+                1
+                for owners in bank._owners
+                for owner in owners
+                if owner == part
+            )
+            assert bank.occupancy(part) == scanned
+        assert bank.counters_match_scan()

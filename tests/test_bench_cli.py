@@ -83,3 +83,69 @@ def test_figure_command_accepts_jobs(bench_env, capsys, monkeypatch):
     monkeypatch.setenv("REPRO_EPOCHS", "2")
     assert main(["figure", "fig18", "--jobs", "1"]) == 0
     assert "Fig. 18" in capsys.readouterr().out
+
+
+TRACESIM_REQUIRED_KEYS = {
+    "suite",
+    "code_fingerprint",
+    "jobs",
+    "cold",
+    "cache_dir",
+    "workload",
+    "scalar_reference",
+    "fast_path",
+    "speedup_vs_scalar",
+    "stats_identical",
+    "sharded_runs",
+    "profile",
+}
+
+
+def _run_tracesim_bench(out, extra=()):
+    argv = [
+        "bench", "--suite", "tracesim", "--accesses", "200",
+        "--seeds", "2", "--jobs", "1", "--output", str(out), *extra,
+    ]
+    assert main(argv) == 0
+    return json.loads(out.read_text())
+
+
+def test_tracesim_bench_schema_and_cache_behaviour(bench_env, capsys):
+    out = bench_env / "BENCH_tracesim.json"
+    cold = _run_tracesim_bench(out)
+
+    assert TRACESIM_REQUIRED_KEYS <= set(cold)
+    assert cold["suite"] == "tracesim"
+    assert cold["stats_identical"] is True
+    assert cold["speedup_vs_scalar"] > 0
+    assert cold["workload"]["accesses_per_core"] == 200
+    assert cold["scalar_reference"]["accesses_per_sec"] > 0
+    assert cold["fast_path"]["accesses_per_sec"] > 0
+    shards = cold["sharded_runs"]
+    assert shards["seeds"] == 2
+    assert shards["cells"] == 2
+    assert shards["computed"] == 2
+    assert shards["cache_hits"] == 0
+    assert cold["profile"] is None
+
+    # Warm rerun: the sharded seed runs come from the cache.
+    warm = _run_tracesim_bench(out)
+    wshards = warm["sharded_runs"]
+    assert wshards["computed"] == 0
+    assert wshards["cache_hits"] == 2
+
+    summary = capsys.readouterr().out
+    assert "speedup" in summary
+    assert str(out) in summary
+
+
+def test_tracesim_bench_profile_dumps_pstats(bench_env):
+    import pstats
+
+    out = bench_env / "BENCH_tracesim.json"
+    report = _run_tracesim_bench(out, extra=("--profile",))
+    prof = report["profile"]
+    assert prof is not None
+    assert prof["total_calls"] > 0
+    stats = pstats.Stats(prof["path"])
+    assert stats.total_calls == prof["total_calls"]

@@ -1,0 +1,113 @@
+"""Golden regression test: aggregate ``TraceStats`` on a pinned trace.
+
+``tests/golden_tracesim.json`` stores the exact per-core statistics the
+trace simulator produces for a fixed, seeded multi-core workload. The
+fast path is required to reproduce every field *exactly* (these are
+integer counters and exact ratios, so equality is the right bar — no
+tolerance), and the frozen scalar reference must agree too. Any change
+to hit/miss accounting, eviction order, DRRIP dueling, port
+arbitration, or NoC hop accounting fails this test loudly.
+
+After an *intentional* simulator-semantics change, regenerate with::
+
+    PYTHONPATH=src python tests/test_golden_tracesim.py
+"""
+
+import json
+import pathlib
+from dataclasses import asdict
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.sim.reference import ReferenceTraceSimulator
+from repro.sim.tracesim import TraceSimulator
+from repro.vtb.vtb import DESCRIPTOR_ENTRIES, PlacementDescriptor
+from repro.workloads.traces import trace_from_spec
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parent / "golden_tracesim.json"
+)
+
+#: The pinned workload: 8 cores, mixed locality, fixed seeds, quotas.
+SCALE = {"rounds": 1500, "bank_sets": 64, "cores": 8}
+
+
+def _core_spec(core: int):
+    if core % 3 == 0:
+        trace = {
+            "kind": "zipf", "num_lines": 4000, "alpha": 0.9,
+            "seed": 40 + core, "base_line": core << 32,
+        }
+    elif core % 3 == 1:
+        trace = {
+            "kind": "working_set", "working_set_lines": 3000,
+            "seed": 80 + core, "base_line": core << 32,
+        }
+    else:
+        trace = {
+            "kind": "streaming", "footprint_lines": 5000,
+            "base_line": core << 32,
+        }
+    banks = [(core * 2 + off) % 20 for off in range(4)]
+    return trace, banks
+
+
+def _run(sim_cls):
+    sim = sim_cls(SystemConfig(), bank_sets=SCALE["bank_sets"])
+    for core in range(SCALE["cores"]):
+        trace, banks = _core_spec(core)
+        entries = [
+            banks[i % len(banks)] for i in range(DESCRIPTOR_ENTRIES)
+        ]
+        sim.add_core(
+            core,
+            trace_from_spec(trace),
+            vc_id=core,
+            descriptor=PlacementDescriptor(entries),
+            partition=f"app{core}",
+        )
+    sim.run(SCALE["rounds"])
+    return {
+        str(core): asdict(stats)
+        for core, stats in sim.stats().items()
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_fast_path_matches_golden(golden):
+    assert _run(TraceSimulator) == golden["per_core"]
+
+
+def test_reference_matches_golden(golden):
+    assert _run(ReferenceTraceSimulator) == golden["per_core"]
+
+
+def _regenerate() -> None:
+    """Rewrite golden_tracesim.json from the current simulator."""
+    golden = {
+        "_comment": "Exact aggregate TraceStats for the pinned seeded "
+                    "workload; the fast path and the scalar reference "
+                    "must both reproduce these bit-for-bit. Regenerate "
+                    "with PYTHONPATH=src python "
+                    "tests/test_golden_tracesim.py after an intentional "
+                    "simulator change.",
+        "scale": SCALE,
+        "per_core": _run(TraceSimulator),
+    }
+    reference = _run(ReferenceTraceSimulator)
+    if reference != golden["per_core"]:
+        raise SystemExit(
+            "fast path and scalar reference disagree; fix that before "
+            "pinning a golden fixture"
+        )
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _regenerate()
