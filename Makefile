@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-smoke bench-tracesim \
-	bench-full examples figures clean
+.PHONY: install test check check-faults bench bench-smoke \
+	bench-tracesim bench-full examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,16 @@ check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	$(MAKE) bench-smoke
 	$(MAKE) bench-tracesim
+	$(MAKE) check-faults
+
+# Chaos smoke (seconds, fixed seed): the fault-injection bench suite —
+# differential clean-vs-chaos sweeps on throwaway caches plus the
+# degraded-runtime drill — then the slow chaos-marked fault-matrix
+# tests (worker stalls, hard deaths, degraded-serial fallback).
+check-faults:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite faults \
+	  --mixes 1 --epochs 2 --output BENCH_faults_smoke.json
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m chaos
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -52,5 +62,6 @@ figures:
 
 clean:
 	rm -rf results/ .pytest_cache .benchmarks
-	rm -f BENCH_sweeps.json BENCH_tracesim_smoke.json
+	rm -f BENCH_sweeps.json BENCH_tracesim_smoke.json \
+	  BENCH_faults_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

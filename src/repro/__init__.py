@@ -25,6 +25,20 @@ from .config import (
     SystemConfig,
     VmSpec,
 )
+from .errors import (
+    AllocationInvalid,
+    CacheCorrupt,
+    CellCrashed,
+    CellError,
+    CellFailed,
+    CellTimeout,
+    ConfigError,
+    PlacementFailed,
+    ReproError,
+    SweepAborted,
+    TelemetryInvalid,
+)
+from .faults import FaultPlan
 from .core import (
     Allocation,
     AppInfo,
@@ -69,5 +83,17 @@ __all__ = [
     "RunResult",
     "run_design",
     "compute_deadline_cycles",
+    "ReproError",
+    "ConfigError",
+    "CellError",
+    "CellTimeout",
+    "CellCrashed",
+    "CellFailed",
+    "SweepAborted",
+    "CacheCorrupt",
+    "TelemetryInvalid",
+    "AllocationInvalid",
+    "PlacementFailed",
+    "FaultPlan",
     "__version__",
 ]

@@ -18,6 +18,18 @@ Two suites:
   bit-identical, shards per-seed trace runs over the runner pool, and
   writes ``BENCH_tracesim.json``. ``--profile`` additionally dumps
   cProfile stats for one closed-loop simulated epoch.
+
+* ``--suite faults`` is the chaos smoke: it runs one mini-sweep twice
+  on throwaway cache directories — once clean, once under a seeded
+  :class:`~repro.faults.FaultPlan` injecting worker crashes, handler
+  errors, and corrupt cache entries — and checks the outcomes are
+  bit-identical (fault tolerance must never change results, only cost).
+  It then re-runs over the now-dirty cache (quarantine + recompute
+  path) and finishes with a degraded-runtime drill verifying the
+  no-shared-banks security invariant holds through NaN/negative/dropped
+  telemetry and injected placer failures. Writes ``BENCH_faults.json``
+  and exits non-zero if any invariant breaks, so ``make check-faults``
+  can gate on it.
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ __all__ = [
     "BENCH_FIGURES",
     "run_bench",
     "run_tracesim_bench",
+    "run_faults_bench",
     "add_bench_arguments",
     "cmd_bench",
 ]
@@ -446,14 +459,184 @@ def cmd_tracesim_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------
+# faults suite (chaos smoke)
+# --------------------------------------------------------------------------
+
+
+def run_faults_bench(
+    fault_seed: int = 0,
+    jobs: Optional[int] = None,
+    mixes: int = 2,
+    epochs: int = 3,
+    drill_epochs: int = 12,
+    output: Optional[os.PathLike] = None,
+) -> Dict[str, Any]:
+    """The chaos smoke: differential sweep + degraded-runtime drill.
+
+    Runs entirely on throwaway cache directories (the user's result
+    cache is never touched), so every invocation exercises the cold
+    compute path, the retry/crash-recovery machinery, and — on the
+    second faulty pass — the corrupt-entry quarantine path. Sets
+    ``report["ok"]`` only if the faulty sweeps are bit-identical to the
+    clean one *and* the drill never violated bank isolation.
+    """
+    import shutil
+    import tempfile
+
+    from .chaos import degraded_runtime_cell, differential_sweep
+    from .faults import FaultPlan
+    from .runner import RetryPolicy, SweepRunner, compute_cell
+
+    jobs_resolved = resolve_jobs(jobs)
+    sweep_kwargs = dict(
+        designs=("Static", "Jumanji"),
+        lc_workloads=("xapian",),
+        loads=("high",),
+        mixes=mixes,
+        epochs=epochs,
+    )
+    sweep_plan = FaultPlan(
+        seed=fault_seed,
+        worker_crash=0.3,
+        cell_error=0.2,
+        cache_corrupt=0.4,
+    )
+    policy = RetryPolicy(retries=6, backoff_seconds=0.01)
+    clean_dir = tempfile.mkdtemp(prefix="repro-faults-clean-")
+    faulty_dir = tempfile.mkdtemp(prefix="repro-faults-chaos-")
+    try:
+        clean_runner = SweepRunner(
+            jobs=jobs_resolved, cache=ResultCache(clean_dir)
+        )
+        faulty_runner = SweepRunner(
+            jobs=jobs_resolved,
+            cache=ResultCache(faulty_dir),
+            policy=policy,
+            fault_plan=sweep_plan,
+        )
+        start = time.perf_counter()
+        cold_identical, clean_outcomes, _ = differential_sweep(
+            clean_runner, faulty_runner, **sweep_kwargs
+        )
+        cold_wall = time.perf_counter() - start
+        # Second pass over the possibly-corrupted cache: quarantine and
+        # recompute instead of failing, still bit-identical.
+        warm_runner = SweepRunner(
+            jobs=jobs_resolved,
+            cache=ResultCache(faulty_dir),
+            policy=policy,
+            fault_plan=sweep_plan,
+        )
+        start = time.perf_counter()
+        warm_identical, _, _ = differential_sweep(
+            clean_runner, warm_runner, **sweep_kwargs
+        )
+        warm_wall = time.perf_counter() - start
+    finally:
+        shutil.rmtree(clean_dir, ignore_errors=True)
+        shutil.rmtree(faulty_dir, ignore_errors=True)
+
+    drill_plan = FaultPlan(
+        seed=fault_seed,
+        telemetry_nan=0.25,
+        telemetry_negative=0.2,
+        telemetry_drop=0.2,
+        cell_error=0.3,
+    )
+    drill = compute_cell(
+        degraded_runtime_cell(
+            epochs=drill_epochs, plan=drill_plan.as_params()
+        )
+    )
+
+    ok = bool(cold_identical and warm_identical and drill["isolation_ok"])
+    report: Dict[str, Any] = {
+        "version": __version__,
+        "suite": "faults",
+        "code_fingerprint": code_fingerprint(),
+        "jobs": jobs_resolved,
+        "fault_seed": fault_seed,
+        "sweep_plan": sweep_plan.as_params(),
+        "drill_plan": drill_plan.as_params(),
+        "differential": {
+            "cells": len(clean_outcomes),
+            "cold_identical": cold_identical,
+            "cold_wall_seconds": cold_wall,
+            "cold_stats": faulty_runner.stats.as_dict(),
+            "warm_identical": warm_identical,
+            "warm_wall_seconds": warm_wall,
+            "warm_stats": warm_runner.stats.as_dict(),
+        },
+        "drill": {
+            "epochs": drill["epochs"],
+            "isolation_ok": drill["isolation_ok"],
+            "shared_bank_epochs": drill["shared_bank_epochs"],
+            "degraded_epochs": drill["degraded_epochs"],
+            "telemetry_events": drill["telemetry_events"],
+            "placement_events": drill["placement_events"],
+        },
+        "ok": ok,
+    }
+    if output is None:
+        output = "BENCH_faults.json"
+    path = pathlib.Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    report["output"] = str(path)
+    return report
+
+
+def cmd_faults_bench(args: argparse.Namespace) -> int:
+    """CLI entry point for ``repro bench --suite faults``."""
+    output = args.output
+    if output == "BENCH_sweeps.json":
+        output = "BENCH_faults.json"
+    report = run_faults_bench(
+        fault_seed=args.fault_seed,
+        jobs=args.jobs,
+        mixes=args.mixes if args.mixes is not None else 2,
+        epochs=args.epochs if args.epochs is not None else 3,
+        output=output,
+    )
+    diff = report["differential"]
+    drill = report["drill"]
+    print(
+        f"faults: seed={report['fault_seed']}, jobs={report['jobs']}, "
+        f"{diff['cells']} sweep cells"
+    )
+    print(
+        f"  cold chaos sweep: identical={diff['cold_identical']} "
+        f"({diff['cold_wall_seconds']:.2f}s, "
+        f"{diff['cold_stats']['retries']} retries, "
+        f"{diff['cold_stats']['pool_respawns']} pool respawns)"
+    )
+    print(
+        f"  warm chaos sweep: identical={diff['warm_identical']} "
+        f"({diff['warm_wall_seconds']:.2f}s, "
+        f"{diff['warm_stats']['quarantined']} quarantined)"
+    )
+    print(
+        f"  degraded-runtime drill: isolation_ok={drill['isolation_ok']} "
+        f"over {drill['epochs']} epochs "
+        f"({len(drill['degraded_epochs'])} degraded, "
+        f"{drill['telemetry_events']} telemetry drops)"
+    )
+    print(f"wrote {report['output']}")
+    if not report["ok"]:
+        print("FAULT SUITE FAILED: see report above")
+        return 1
+    return 0
+
+
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach ``repro bench`` options to a subparser."""
     parser.add_argument(
         "--suite",
-        choices=("sweeps", "tracesim"),
+        choices=("sweeps", "tracesim", "faults"),
         default="sweeps",
-        help="what to benchmark: figure sweeps (default) or the "
-        "trace-simulator fast path",
+        help="what to benchmark: figure sweeps (default), the "
+        "trace-simulator fast path, or the fault-injection chaos "
+        "smoke",
     )
     parser.add_argument(
         "--figures",
@@ -502,12 +685,20 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="tracesim suite: dump cProfile stats for one simulated "
         "epoch next to the report",
     )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="faults suite: FaultPlan seed (default 0)",
+    )
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """CLI entry point for ``repro bench``."""
     if args.suite == "tracesim":
         return cmd_tracesim_bench(args)
+    if args.suite == "faults":
+        return cmd_faults_bench(args)
     report = run_bench(
         figures=args.figures,
         jobs=args.jobs,

@@ -5,7 +5,9 @@ Commands:
 * ``designs``              — list the available LLC designs
 * ``run``                  — run one design on one workload, print metrics
 * ``figure <name>``        — regenerate one of the paper's figures/tables
-* ``bench``                — time the sweep figures, write BENCH_sweeps.json
+* ``bench``                — benchmark suites: sweep figures (default),
+  the trace-simulator fast path (``--suite tracesim``), or the
+  fault-injection chaos smoke (``--suite faults``)
 * ``deadline <app>``       — print an LC app's computed deadline
 * ``report``               — assemble results/ into a single SUMMARY.md
 """
@@ -77,7 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="benchmark the sweep figures, write BENCH_sweeps.json",
+        help="benchmark suites: sweeps (default), tracesim, or the "
+        "faults chaos smoke",
     )
     add_bench_arguments(bench)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 #: Core clock frequency in Hz (2.66 GHz Nehalem-class cores).
 CORE_FREQ_HZ = 2.66e9
@@ -140,6 +140,10 @@ class ControllerConfig:
     panic_fraction: float = 1.0 / 8.0
     configuration_interval: int = 20
     percentile: float = 95.0
+    #: Max :class:`~repro.core.runtime.ReconfigRecord` entries the
+    #: runtime keeps (ring buffer). ``None`` keeps the full history;
+    #: million-epoch runs should cap this to bound memory.
+    history_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_lo < self.target_hi:
@@ -148,6 +152,8 @@ class ControllerConfig:
             raise ValueError("panic_threshold must be >= target_hi")
         if not 0.0 < self.step < 1.0:
             raise ValueError("step must be in (0, 1)")
+        if self.history_limit is not None and self.history_limit < 1:
+            raise ValueError("history_limit must be >= 1 (or None)")
 
 
 @dataclass(frozen=True)

@@ -14,10 +14,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..config import SystemConfig
+from ..errors import AllocationInvalid
 from ..noc.mesh import MeshNoc
 from ..vtb.vtb import PlacementDescriptor, descriptor_from_allocation
 
-__all__ = ["Allocation", "PARTITION_MODES"]
+__all__ = ["Allocation", "AllocationInvalid", "PARTITION_MODES"]
 
 #: How intra-bank space is enforced:
 #: * ``per-app``  — every app has its own way-partition (D-NUCAs);
@@ -58,16 +59,24 @@ class Allocation:
     def add(self, bank: int, app: str, mb: float) -> None:
         """Grant ``app`` ``mb`` MB in ``bank`` (accumulates)."""
         if not 0 <= bank < self.config.num_banks:
-            raise ValueError(f"bank {bank} out of range")
+            raise AllocationInvalid(
+                f"bank {bank} out of range", bank=bank, app=app
+            )
         if mb < 0:
-            raise ValueError("allocation must be non-negative")
+            raise AllocationInvalid(
+                f"allocation must be non-negative "
+                f"({mb} MB for {app!r} in bank {bank})",
+                bank=bank, app=app,
+            )
         if mb == 0:
             return
         bank_map = self.allocs.setdefault(bank, {})
         bank_map[app] = bank_map.get(app, 0.0) + mb
         if self.bank_used(bank) > self.config.llc_bank_mb + 1e-9:
-            raise ValueError(
-                f"bank {bank} over-committed: {self.bank_used(bank):.3f} MB"
+            raise AllocationInvalid(
+                f"bank {bank} over-committed: "
+                f"{self.bank_used(bank):.3f} MB",
+                bank=bank, app=app,
             )
 
     # -- queries ------------------------------------------------------------------
@@ -217,14 +226,48 @@ class Allocation:
         )
 
     def validate(self) -> None:
-        """Check structural invariants; raises ``ValueError`` on failure."""
+        """Check structural invariants.
+
+        Raises :class:`~repro.errors.AllocationInvalid` (a
+        ``ValueError``) carrying the offending ``bank``/``app`` pair on
+        failure, so degraded-mode handlers can log exactly what was
+        rejected before falling back.
+        """
         for bank, bank_map in self.allocs.items():
             if not 0 <= bank < self.config.num_banks:
-                raise ValueError(f"bank {bank} out of range")
+                raise AllocationInvalid(
+                    f"bank {bank} out of range", bank=bank
+                )
             for app, mb in bank_map.items():
                 if mb < 0:
-                    raise ValueError(
-                        f"negative allocation for {app} in bank {bank}"
+                    raise AllocationInvalid(
+                        f"negative allocation for {app} in bank {bank}",
+                        bank=bank, app=app,
                     )
             if self.bank_used(bank) > self.config.llc_bank_mb + 1e-9:
-                raise ValueError(f"bank {bank} over-committed")
+                over = self.apps_in_bank(bank)
+                raise AllocationInvalid(
+                    f"bank {bank} over-committed "
+                    f"({self.bank_used(bank):.3f} MB by {over})",
+                    bank=bank,
+                    app=over[0] if over else None,
+                )
+
+    def validate_isolation(
+        self, vm_of_app: Mapping[str, int]
+    ) -> None:
+        """Enforce the no-shared-banks security invariant.
+
+        Raises :class:`~repro.errors.AllocationInvalid` naming the
+        first shared bank and the VMs resident in it. Designs that
+        intentionally share banks (S-NUCA baselines) simply don't call
+        this.
+        """
+        for bank in self.violates_bank_isolation(vm_of_app):
+            vms = sorted(self.bank_vms(vm_of_app)[bank])
+            raise AllocationInvalid(
+                f"bank {bank} shared by VMs {vms} "
+                "(no-shared-banks invariant violated)",
+                bank=bank,
+                vms=tuple(vms),
+            )

@@ -18,13 +18,45 @@ would miss deadlines for whole windows.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..config import ControllerConfig, SystemConfig
+from ..errors import TelemetryInvalid
 from ..sim.queueing import percentile
 
 __all__ = ["FeedbackController", "ControllerDecision"]
+
+
+def _check_sample(app: str, value: float, what: str) -> float:
+    """Validate one telemetry sample; returns it as a float.
+
+    NaN, infinities, negatives, and non-numbers all raise
+    :class:`~repro.errors.TelemetryInvalid` (a ``ValueError``): a bad
+    sample entering the sizing window would silently poison the tail
+    percentile for a whole configuration interval. Degraded-mode
+    callers (the runtime) catch this, log, and hold the last-good
+    allocation instead of propagating garbage into placement.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise TelemetryInvalid(
+            f"{what} for {app!r} is not a number: {value!r}",
+            app=app, value=value,
+        ) from None
+    if not math.isfinite(value):
+        raise TelemetryInvalid(
+            f"{what} for {app!r} is not finite: {value!r}",
+            app=app, value=value,
+        )
+    if value < 0:
+        raise TelemetryInvalid(
+            f"{what} for {app!r} must be non-negative, got {value!r}",
+            app=app, value=value,
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -131,8 +163,7 @@ class FeedbackController:
         """
         if app not in self._deadlines:
             raise KeyError(f"app {app!r} not registered")
-        if latency < 0:
-            raise ValueError("latency must be non-negative")
+        latency = _check_sample(app, latency, "latency sample")
         window = self._windows[app]
         window.append(latency)
         if len(window) <= self.config.configuration_interval:
@@ -182,6 +213,5 @@ class FeedbackController:
         """
         if app not in self._deadlines:
             raise KeyError(f"app {app!r} not registered")
-        if tail < 0:
-            raise ValueError("tail must be non-negative")
+        tail = _check_sample(app, tail, "tail sample")
         return self._update(app, tail)

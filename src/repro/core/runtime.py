@@ -9,13 +9,33 @@ per-core VTBs (triggering coherence walks for moved data).
 It also accounts the placement algorithm's own execution overhead: the
 paper measures 11.9 Mcycles per 100 ms reconfiguration, i.e. 0.22% of
 system cycles, charged to batch applications.
+
+Degraded-mode contract (the production-robustness layer):
+
+* Telemetry reported through :meth:`JumanjiRuntime.report_latency` /
+  :meth:`~JumanjiRuntime.report_tail` is sanitized — NaN, negative,
+  infinite, or non-numeric samples are *dropped* with a structured
+  ``telemetry_invalid`` event, holding the last-good LC sizes rather
+  than poisoning the controller's window.
+* If the placer (or allocation validation) fails during
+  :meth:`~JumanjiRuntime.reconfigure`, the runtime re-installs the
+  previous epoch's allocation — which was itself validated when first
+  placed — and logs a ``placement_failed`` event. It never installs an
+  unvalidated allocation, so the no-shared-banks security invariant is
+  preserved across degraded epochs. With no prior epoch to fall back
+  on, the failure propagates (there is no safe state to hold).
+* ``ControllerConfig.history_limit`` bounds the reconfiguration
+  history with a ring buffer so million-epoch runs don't grow memory
+  without bound; the last record is always retained for fallback.
 """
 
 from __future__ import annotations
 
+import logging
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..config import (
     CORE_FREQ_HZ,
@@ -23,6 +43,7 @@ from ..config import (
     ControllerConfig,
     SystemConfig,
 )
+from ..errors import PlacementFailed, TelemetryInvalid, log_event
 from ..vtb.vtb import PlacementDescriptor, Vtb
 from .allocation import Allocation
 from .context import PlacementContext
@@ -30,6 +51,8 @@ from .controller import FeedbackController
 from .designs import LlcDesign
 
 __all__ = ["JumanjiRuntime", "ReconfigRecord", "PLACEMENT_OVERHEAD_FRACTION"]
+
+logger = logging.getLogger("repro.runtime")
 
 #: Measured placement overhead (paper Sec. IV-B): 11.9 Mcycles per 100 ms
 #: across 20 cores at 2.66 GHz = 0.22% of system cycles.
@@ -47,6 +70,9 @@ class ReconfigRecord:
     lat_sizes: Dict[str, float]
     allocation: Allocation
     invalidated_lines: int
+    #: True when this epoch fell back to the previous allocation
+    #: because the placer failed (degraded mode).
+    degraded: bool = False
 
 
 class JumanjiRuntime:
@@ -83,22 +109,62 @@ class JumanjiRuntime:
         )
         self.vtb = Vtb()
         self.epoch = 0
-        self.history: List[ReconfigRecord] = []
-        self._invalidation_counter: Optional[
-            Callable[[int, PlacementDescriptor], int]
-        ] = None
+        limit = self.controller.config.history_limit
+        #: Reconfiguration records, ring-buffered when
+        #: ``ControllerConfig.history_limit`` is set.
+        self.history: Union[List[ReconfigRecord], deque] = (
+            deque(maxlen=limit) if limit is not None else []
+        )
+        #: The most recent record, kept outside the ring so fallback
+        #: works even with ``history_limit=1`` under churn.
+        self.last_record: Optional[ReconfigRecord] = None
+        #: Structured degraded-mode events (telemetry drops, placer
+        #: fallbacks), newest last.
+        self.events: List[Dict[str, Any]] = []
+
+    # -- degraded-mode plumbing ---------------------------------------------------
+
+    def _event(self, event: str, **fields: Any) -> None:
+        self.events.append(log_event(logger, event, **fields))
 
     def register_lc_app(self, app: str, deadline_cycles: float) -> None:
         """Register an LC app and its deadline with the controller."""
         self.controller.register(app, deadline_cycles)
 
     def report_latency(self, app: str, latency_cycles: float) -> None:
-        """Per-request completion hook (paper Listing 1)."""
-        self.controller.request_completed(app, latency_cycles)
+        """Per-request completion hook (paper Listing 1).
+
+        Invalid samples (NaN/negative/non-numeric) are dropped with a
+        structured event; the controller's window — and therefore the
+        LC sizing — holds its last-good state.
+        """
+        try:
+            self.controller.request_completed(app, latency_cycles)
+        except TelemetryInvalid as exc:
+            self._event(
+                "telemetry_invalid",
+                app=app,
+                value=repr(latency_cycles),
+                epoch=self.epoch,
+                detail=str(exc),
+            )
 
     def report_tail(self, app: str, tail_cycles: float) -> None:
-        """Epoch-granular tail report (used by the system model)."""
-        self.controller.force_update(app, tail_cycles)
+        """Epoch-granular tail report (used by the system model).
+
+        Sanitized like :meth:`report_latency`: garbage tails never
+        reach the sizing logic.
+        """
+        try:
+            self.controller.force_update(app, tail_cycles)
+        except TelemetryInvalid as exc:
+            self._event(
+                "telemetry_invalid",
+                app=app,
+                value=repr(tail_cycles),
+                epoch=self.epoch,
+                detail=str(exc),
+            )
 
     def lat_sizes(self) -> Dict[str, float]:
         """Current LC sizing targets (empty for feedback-less designs)."""
@@ -110,13 +176,35 @@ class JumanjiRuntime:
         """Run one 100 ms reconfiguration: place and install.
 
         Returns the record, including how many LLC lines the coherence
-        walk invalidated due to descriptor changes.
+        walk invalidated due to descriptor changes. If the placer (or
+        validation) fails and a previous epoch exists, the previous
+        allocation is re-installed and the record is marked
+        ``degraded`` — never an unvalidated allocation.
         """
         self.controller.epoch_boundary()
-        lat_sizes = self.lat_sizes()
-        ctx = self._build_context(lat_sizes)
-        allocation = self.design.allocate(ctx)
-        allocation.validate()
+        degraded = False
+        try:
+            lat_sizes = self.lat_sizes()
+            ctx = self._build_context(lat_sizes)
+            allocation = self.design.allocate(ctx)
+            allocation.validate()
+        except Exception as exc:
+            if self.last_record is None:
+                # No validated state to hold: surface the failure.
+                raise PlacementFailed(
+                    f"placement failed on epoch {self.epoch} with no "
+                    f"prior allocation to fall back to: {exc!r}",
+                    epoch=self.epoch,
+                ) from exc
+            self._event(
+                "placement_failed",
+                epoch=self.epoch,
+                design=self.design.name,
+                error=repr(exc),
+            )
+            allocation = self.last_record.allocation
+            lat_sizes = dict(self.last_record.lat_sizes)
+            degraded = True
         invalidated = 0
         for vc_id, app in enumerate(sorted(allocation.apps())):
             descriptor = allocation.descriptor_for(app)
@@ -130,8 +218,10 @@ class JumanjiRuntime:
             lat_sizes=dict(lat_sizes),
             allocation=allocation,
             invalidated_lines=invalidated,
+            degraded=degraded,
         )
         self.history.append(record)
+        self.last_record = record
         self.epoch += 1
         return record
 

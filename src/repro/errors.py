@@ -1,0 +1,184 @@
+"""Shared exception taxonomy and structured-event logging.
+
+Production cache/serving systems treat partial failure as a normal
+input, not a crash: a wedged worker, a truncated cache file, or a NaN
+latency sample must degrade service predictably instead of aborting a
+whole sweep with a raw traceback. This module gives every layer of the
+reproduction one vocabulary for those events:
+
+* typed exceptions (:class:`CellTimeout`, :class:`CacheCorrupt`,
+  :class:`TelemetryInvalid`, ...) so callers can catch precisely the
+  failures they know how to absorb, and
+* :func:`log_event`, a single-line JSON structured event emitter, so
+  degraded-mode decisions (quarantined cache entries, placer fallbacks,
+  dropped telemetry) leave an auditable trail.
+
+Several exceptions also subclass ``ValueError``/``KeyError`` so code
+(and tests) written against the seed's untyped raises keep working.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "CellError",
+    "CellTimeout",
+    "CellCrashed",
+    "CellFailed",
+    "SweepAborted",
+    "CacheCorrupt",
+    "TelemetryInvalid",
+    "AllocationInvalid",
+    "PlacementFailed",
+    "log_event",
+]
+
+
+class ReproError(Exception):
+    """Base class for every typed error raised by this package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration input (env var, CLI arg) is unusable.
+
+    Raised with a message naming the offending knob and value, instead
+    of letting a bare ``int()`` traceback escape to the user.
+    """
+
+
+class CellError(ReproError):
+    """A sweep cell could not be evaluated.
+
+    Carries enough context (``kind``, ``params``, ``key``, ``attempts``)
+    to identify the cell without re-deriving its content address.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        key: Optional[str] = None,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.params = dict(params) if params else {}
+        self.key = key
+        self.attempts = attempts
+
+
+class CellTimeout(CellError):
+    """A cell exceeded its per-cell wall-clock budget (worker wedged)."""
+
+
+class CellCrashed(CellError):
+    """The worker process evaluating a cell died mid-computation."""
+
+
+class CellFailed(CellError):
+    """A cell's handler raised; retries (if any) were exhausted."""
+
+
+class SweepAborted(ReproError):
+    """A sweep was interrupted mid-run (checkpoint holds progress)."""
+
+    def __init__(self, message: str, completed: int = 0, total: int = 0):
+        super().__init__(message)
+        self.completed = completed
+        self.total = total
+
+
+class CacheCorrupt(ReproError):
+    """A result-cache entry failed its checksum or failed to unpickle.
+
+    Never propagated out of :class:`repro.runner.ResultCache` — the
+    entry is quarantined and the cell recomputed — but exposed so tests
+    and tooling can name the condition.
+    """
+
+    def __init__(self, message: str, path: Optional[str] = None):
+        super().__init__(message)
+        self.path = path
+
+
+class TelemetryInvalid(ReproError, ValueError):
+    """A latency/tail sample is unusable (NaN, negative, infinite).
+
+    Subclasses ``ValueError`` so seed-era ``except ValueError`` guards
+    (and tests) continue to hold.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        app: Optional[str] = None,
+        value: Any = None,
+    ):
+        super().__init__(message)
+        self.app = app
+        self.value = value
+
+
+class AllocationInvalid(ReproError, ValueError):
+    """An allocation violates a structural or isolation invariant.
+
+    Carries the offending ``bank`` and ``app`` (and, for isolation
+    violations, the set of ``vms`` sharing the bank) so degraded-mode
+    handlers can log exactly what was rejected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        bank: Optional[int] = None,
+        app: Optional[str] = None,
+        vms: Optional[tuple] = None,
+    ):
+        super().__init__(message)
+        self.bank = bank
+        self.app = app
+        self.vms = tuple(vms) if vms is not None else None
+
+
+class PlacementFailed(ReproError):
+    """A placer raised or produced an invalid allocation for an epoch."""
+
+    def __init__(self, message: str, epoch: Optional[int] = None):
+        super().__init__(message)
+        self.epoch = epoch
+
+
+# --------------------------------------------------------------------------
+# Structured events
+# --------------------------------------------------------------------------
+
+
+def log_event(
+    logger: logging.Logger, event: str, **fields: Any
+) -> Dict[str, Any]:
+    """Log one machine-parseable degraded-mode event; return it.
+
+    The record is a flat dict ``{"event": ..., **fields}`` rendered as
+    one JSON line at WARNING level, so operators can grep a run's log
+    for e.g. ``"event": "cache_corrupt"`` and count occurrences.
+    Non-JSON-able field values are stringified rather than raising —
+    event logging must never become its own failure mode.
+    """
+    record = {"event": event}
+    for key, value in fields.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            value = repr(value)
+        record[key] = value
+    logger.warning("%s", json.dumps(record, sort_keys=True))
+    return record

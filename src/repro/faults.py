@@ -1,0 +1,188 @@
+"""Deterministic, seed-driven fault injection (``repro.faults``).
+
+A :class:`FaultPlan` describes *which* faults to inject and *how often*;
+every actual injection decision is a pure function of
+``(plan.seed, site, key, attempt)`` hashed through SHA-256 — never of
+wall-clock time, scheduling, or process identity. That buys two
+properties the chaos tests rely on:
+
+* **Reproducibility** — the same plan against the same cells injects
+  exactly the same faults, serial or parallel, fork or spawn.
+* **Convergence** — a fault keyed by ``attempt`` fires (or not)
+  independently per retry, so with probability < 1 a retried cell
+  eventually computes, and the final value is bit-identical to a
+  fault-free run (cells are deterministic in their inputs).
+
+Plans are JSON-canonical (:meth:`FaultPlan.as_params` /
+:meth:`FaultPlan.from_params`), so a fault scenario can be embedded in
+a cell's params and cached/content-addressed like any other input.
+
+Injection sites (all probabilities in ``[0, 1]``, default 0 = off):
+
+* ``worker_crash``  — the worker aborts before computing (soft: an
+  error marker the parent treats exactly like a lost worker);
+* ``hard_crash``    — the worker process ``os._exit``\\ s mid-cell (only
+  recoverable when the runner has a per-cell timeout);
+* ``cell_stall``    — the worker sleeps ``stall_seconds`` before
+  computing, to trip per-cell timeouts;
+* ``cell_error``    — the cell handler raises a synthetic exception;
+* ``cache_corrupt`` — the bytes of the just-written cache entry are
+  flipped, to exercise checksum quarantine on the next read;
+* ``telemetry_nan`` / ``telemetry_negative`` / ``telemetry_drop`` —
+  degrade tail-latency samples fed to the runtime (NaN, negated, or
+  dropped entirely).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from .errors import ConfigError
+
+__all__ = [
+    "FaultPlan",
+    "FAULT_SITES",
+    "active_plan",
+    "install_plan",
+    "injected_faults",
+    "corrupt_tail_sample",
+]
+
+#: Every probability knob a plan exposes.
+FAULT_SITES = (
+    "worker_crash",
+    "hard_crash",
+    "cell_stall",
+    "cell_error",
+    "cache_corrupt",
+    "telemetry_nan",
+    "telemetry_negative",
+    "telemetry_drop",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded specification of what to break, and how often."""
+
+    seed: int = 0
+    worker_crash: float = 0.0
+    hard_crash: float = 0.0
+    cell_stall: float = 0.0
+    cell_error: float = 0.0
+    cache_corrupt: float = 0.0
+    telemetry_nan: float = 0.0
+    telemetry_negative: float = 0.0
+    telemetry_drop: float = 0.0
+    #: How long a ``cell_stall`` fault sleeps (seconds).
+    stall_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        for site in FAULT_SITES:
+            prob = getattr(self, site)
+            if not 0.0 <= prob <= 1.0:
+                raise ConfigError(
+                    f"fault probability {site}={prob!r} must be in [0, 1]"
+                )
+        if self.stall_seconds < 0:
+            raise ConfigError("stall_seconds must be non-negative")
+
+    # -- canonical form -------------------------------------------------------
+
+    def as_params(self) -> Dict[str, Any]:
+        """JSON-canonical dict form (cacheable as cell params)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_params(
+        cls, params: Optional[Mapping[str, Any]]
+    ) -> Optional["FaultPlan"]:
+        """Inverse of :meth:`as_params`; ``None`` passes through."""
+        if params is None:
+            return None
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ConfigError(f"unknown FaultPlan fields: {unknown}")
+        return cls(**dict(params))
+
+    # -- deterministic decisions ----------------------------------------------
+
+    def roll(self, site: str, key: str, attempt: int = 0) -> float:
+        """Deterministic uniform [0, 1) draw for one decision point."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{site}:{key}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    def fires(self, site: str, key: str, attempt: int = 0) -> bool:
+        """Whether the fault at ``site`` fires for this decision point."""
+        if site not in FAULT_SITES:
+            raise ConfigError(f"unknown fault site {site!r}")
+        prob = getattr(self, site)
+        if prob <= 0.0:
+            return False
+        return self.roll(site, key, attempt) < prob
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one site has a non-zero probability."""
+        return any(getattr(self, site) > 0.0 for site in FAULT_SITES)
+
+
+# --------------------------------------------------------------------------
+# Process-global plan (for layers without an explicit plumbing path)
+# --------------------------------------------------------------------------
+
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The process-global plan installed by :func:`injected_faults`."""
+    return _ACTIVE_PLAN
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Install (or clear, with ``None``) the process-global plan."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+
+
+@contextmanager
+def injected_faults(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Scope a process-global plan to a ``with`` block."""
+    previous = _ACTIVE_PLAN
+    install_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_plan(previous)
+
+
+# --------------------------------------------------------------------------
+# Telemetry degradation
+# --------------------------------------------------------------------------
+
+
+def corrupt_tail_sample(
+    plan: Optional[FaultPlan], key: str, value: float, attempt: int = 0
+) -> Optional[float]:
+    """Apply a plan's telemetry faults to one tail/latency sample.
+
+    Returns the (possibly degraded) sample, or ``None`` when the
+    ``telemetry_drop`` site fires — the caller simply loses the report,
+    as a production system would under metric-pipeline loss.
+    """
+    if plan is None:
+        return value
+    if plan.fires("telemetry_drop", key, attempt):
+        return None
+    if plan.fires("telemetry_nan", key, attempt):
+        return math.nan
+    if plan.fires("telemetry_negative", key, attempt):
+        return -abs(value) - 1.0
+    return value

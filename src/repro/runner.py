@@ -1,4 +1,4 @@
-"""Parallel sweep engine with a content-addressed result cache.
+"""Fault-tolerant parallel sweep engine with a content-addressed result cache.
 
 Every figure in the paper's evaluation is a *sweep*: a set of
 independent experiment cells (mix x design x config) whose results are
@@ -17,7 +17,28 @@ Determinism contract: a cell's value depends only on its inputs, never
 on scheduling. ``SweepRunner.map`` therefore returns results in
 submission order, and parallel, serial (``jobs=1``), and cache-warm
 reruns are bit-identical (``tests/test_runner_equivalence.py`` enforces
-this).
+this). Fault recovery preserves the contract: a retried cell recomputes
+the same value, so runs that suffered crashes, timeouts, or corrupt
+cache entries converge to the same results as clean runs
+(``tests/test_fault_tolerant_runner.py``).
+
+Failure handling (see :mod:`repro.errors` for the taxonomy):
+
+* worker crashes — the pool is respawned and in-flight cells are
+  re-dispatched; after ``RetryPolicy.max_pool_respawns`` unhealthy
+  pools the runner degrades to serial in-process execution;
+* per-cell timeouts — cells exceeding ``RetryPolicy.timeout_seconds``
+  (or ``REPRO_CELL_TIMEOUT``) are retried with exponential backoff and
+  raise :class:`~repro.errors.CellTimeout` when retries are exhausted;
+* handler exceptions — bounded retries, then
+  :class:`~repro.errors.CellFailed` carrying the worker traceback;
+* cache corruption — every entry is wrapped in a checksum envelope;
+  entries failing verification are quarantined (renamed
+  ``*.pkl.corrupt``) and recomputed instead of crashing the sweep;
+* checkpoint/resume — with a :class:`SweepCheckpoint` (or
+  ``REPRO_CHECKPOINT``), completed cell keys are journaled so a killed
+  sweep resumes from where it stopped, recomputing only unfinished
+  cells.
 
 Cache layout: ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-sweeps``),
 one pickle per cell at ``<key[:2]>/<key>.pkl``. The cache is safe to
@@ -29,13 +50,17 @@ source changes, because the code fingerprint is part of every key.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
+import logging
 import multiprocessing
 import os
 import pathlib
 import pickle
 import tempfile
 import time
+import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -46,13 +71,26 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
+
+from .errors import (
+    CellCrashed,
+    CellFailed,
+    CellTimeout,
+    ConfigError,
+    SweepAborted,
+    log_event,
+)
+from .faults import FaultPlan
 
 __all__ = [
     "Cell",
     "CellStats",
     "ResultCache",
+    "RetryPolicy",
+    "SweepCheckpoint",
     "SweepRunner",
     "cell_key",
     "code_fingerprint",
@@ -61,6 +99,8 @@ __all__ = [
     "resolve_jobs",
 ]
 
+logger = logging.getLogger("repro.runner")
+
 
 # --------------------------------------------------------------------------
 # Worker-count resolution
@@ -68,15 +108,32 @@ __all__ = [
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``.
+
+    Garbage values (non-integer, zero, negative) raise
+    :class:`~repro.errors.ConfigError` with a message naming the source.
+    """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS")
-        if env:
-            jobs = int(env)
+        if env is not None and env.strip():
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_JOBS must be a positive integer, got {env!r}"
+                ) from None
+            if jobs < 1:
+                raise ConfigError(
+                    f"REPRO_JOBS must be >= 1, got {env!r}"
+                )
     if jobs is None:
         jobs = os.cpu_count() or 1
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ConfigError(
+            f"jobs must be an integer, got {type(jobs).__name__}"
+        )
     if jobs < 1:
-        raise ValueError("jobs must be >= 1")
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
     return jobs
 
 
@@ -165,42 +222,92 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro-sweeps"
 
 
+#: Envelope header of every cache entry: magic + SHA-256 of the payload.
+_CACHE_MAGIC = b"RPRC1\n"
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
+
 class ResultCache:
     """Pickle-per-cell cache addressed by :func:`cell_key`.
 
-    Writes are atomic (tempfile + rename), so concurrent workers racing
-    on the same cell at worst duplicate work — they never corrupt an
-    entry or observe a partial one.
+    Writes are atomic (tempfile + ``os.replace`` on the same
+    filesystem), so concurrent workers racing on the same cell at worst
+    duplicate work — they never corrupt an entry or observe a partial
+    one. Every entry carries a checksum envelope (magic + SHA-256 of
+    the pickle bytes); an entry that fails verification — truncated
+    write survived a crash, bit rot, a stray editor — is *quarantined*
+    (renamed ``<key>.pkl.corrupt``) and reported as a miss, so the cell
+    recomputes instead of the sweep crashing on ``pickle.load``.
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None):
         self.directory = pathlib.Path(
             directory if directory is not None else default_cache_dir()
         )
+        #: Corrupt entries detected (and quarantined) by this instance.
+        self.corrupt_detected = 0
 
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored ``{"value", "duration"}`` payload, or None."""
+        """The stored ``{"value", "duration"}`` payload, or None.
+
+        Corrupt entries are quarantined and treated as misses.
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+                blob = fh.read()
+        except OSError:
+            return None
+        header = len(_CACHE_MAGIC) + _DIGEST_BYTES
+        payload = blob[header:]
+        if (
+            len(blob) < header
+            or not blob.startswith(_CACHE_MAGIC)
+            or hashlib.sha256(payload).digest()
+            != blob[len(_CACHE_MAGIC) : header]
+        ):
+            self._quarantine(path, "checksum mismatch")
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            # A checksummed-but-unloadable entry means the *writer* put
+            # garbage (e.g. an unpicklable class vanished); same remedy.
+            self._quarantine(path, "unpickle failed")
             return None
 
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a corrupt entry aside so it is never read again."""
+        self.corrupt_detected += 1
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = None
+        log_event(
+            logger,
+            "cache_corrupt",
+            path=str(path),
+            quarantined=str(quarantined) if quarantined else None,
+            reason=reason,
+        )
+
     def put(self, key: str, value: Any, duration: float) -> None:
-        """Store a cell result atomically."""
+        """Store a cell result atomically, inside a checksum envelope."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"value": value, "duration": float(duration)}
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, suffix=".tmp"
+        payload = pickle.dumps(
+            {"value": value, "duration": float(duration)},
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
+        blob = _CACHE_MAGIC + hashlib.sha256(payload).digest() + payload
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(blob)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -237,6 +344,68 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.directory.rglob("*.pkl"))
 
+    def quarantined(self) -> List[pathlib.Path]:
+        """Quarantined (corrupt) entries currently on disk."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.rglob("*.pkl.corrupt"))
+
+
+# --------------------------------------------------------------------------
+# Sweep checkpoints (crash-safe resume manifests)
+# --------------------------------------------------------------------------
+
+
+class SweepCheckpoint:
+    """Append-only journal of completed cell keys.
+
+    One JSON line per completed cell. Appends are flushed and fsynced so
+    a SIGKILL loses at most the in-flight line; :meth:`load` tolerates a
+    truncated final line (and any other garbage) by skipping it. The
+    checkpoint is a *manifest*, not a value store — values come from the
+    result cache, so a key listed here whose cache entry is missing or
+    corrupt is simply recomputed.
+    """
+
+    def __init__(self, path: os.PathLike):
+        self.path = pathlib.Path(path)
+
+    def load(self) -> Set[str]:
+        """Keys of cells recorded as completed (garbage lines skipped)."""
+        keys: Set[str] = set()
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return keys
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+            except (ValueError, TypeError, KeyError):
+                continue  # truncated/corrupt line: ignore, recompute
+            if isinstance(key, str):
+                keys.add(key)
+        return keys
+
+    def record(self, key: str) -> None:
+        """Durably append one completed cell key."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": key}) + "\n"
+        with open(self.path, "a") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def clear(self) -> None:
+        """Forget all recorded progress."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
 
 # --------------------------------------------------------------------------
 # Cell-kind registry (handlers run inside workers, so module level)
@@ -262,8 +431,9 @@ def register_cell_kind(
 
 def _handler_for(kind: str) -> Callable[..., Any]:
     if kind not in _CELL_KINDS:
-        # Built-in handlers live in the experiment, attack, shard, and
-        # validation modules; importing them registers all of them.
+        # Built-in handlers live in the experiment, attack, shard,
+        # chaos, and validation modules; importing registers them all.
+        from . import chaos  # noqa: F401
         from . import experiments  # noqa: F401
         from .model import validation  # noqa: F401
         from .sim import attack, shard  # noqa: F401
@@ -311,26 +481,64 @@ def get_or_compute(
 
 
 # --------------------------------------------------------------------------
-# Pool plumbing
+# Fault-aware cell evaluation (shared by workers and the serial path)
 # --------------------------------------------------------------------------
 
 
-def _worker(
-    task: Tuple[int, Cell, str]
-) -> Tuple[int, Any, bool, float]:
-    """Evaluate one cell in a worker process.
+class _SimulatedCrash(Exception):
+    """Injected stand-in for a worker dying mid-cell."""
 
-    Returns ``(index, value, was_cached, duration)``; ``index`` restores
-    submission order in the parent, keeping results deterministic no
-    matter how the pool schedules.
+
+class _InjectedCellError(Exception):
+    """Injected stand-in for a cell handler raising."""
+
+
+def _corrupt_entry(cache: ResultCache, key: str) -> None:
+    """Flip payload bytes of a cache entry (fault-injection only)."""
+    path = cache._path(key)
+    try:
+        blob = bytearray(path.read_bytes())
+    except OSError:
+        return
+    if len(blob) > len(_CACHE_MAGIC) + _DIGEST_BYTES:
+        blob[-1] ^= 0xFF
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+
+def _evaluate(
+    cell: Cell,
+    key: str,
+    cache: ResultCache,
+    plan: Optional[FaultPlan],
+    attempt: int,
+    in_worker: bool,
+) -> Tuple[Any, bool, float, int]:
+    """Evaluate one cell through the cache, injecting planned faults.
+
+    Returns ``(value, was_cached, duration, corrupt_quarantined)``.
+    Fault decisions hash ``(site, key, attempt)`` so they replay
+    identically under any scheduling — see :mod:`repro.faults`.
     """
     global _CURRENT_CACHE
-    index, cell, cache_dir = task
-    cache = ResultCache(cache_dir)
-    key = cell_key(cell)
+    if plan is not None and in_worker:
+        if plan.fires("hard_crash", key, attempt):
+            os._exit(13)  # a real abrupt death: no cleanup, no result
+        if plan.fires("cell_stall", key, attempt):
+            time.sleep(plan.stall_seconds)
+    if plan is not None and plan.fires("worker_crash", key, attempt):
+        raise _SimulatedCrash(f"injected crash for cell {key[:12]}")
+    corrupt_before = cache.corrupt_detected
     hit = cache.get(key)
     if hit is not None:
-        return index, hit["value"], True, hit["duration"]
+        return (
+            hit["value"],
+            True,
+            hit["duration"],
+            cache.corrupt_detected - corrupt_before,
+        )
+    if plan is not None and plan.fires("cell_error", key, attempt):
+        raise _InjectedCellError(f"injected error for cell {key[:12]}")
     previous = _CURRENT_CACHE
     _CURRENT_CACHE = cache
     try:
@@ -343,12 +551,90 @@ def _worker(
     finally:
         _CURRENT_CACHE = previous
     cache.put(key, value, duration)
-    return index, value, False, duration
+    if plan is not None and plan.fires("cache_corrupt", key, attempt):
+        # Corrupt the entry *after* the value is in hand: this run's
+        # results stay correct, and the next read exercises quarantine.
+        _corrupt_entry(cache, key)
+    return value, False, duration, cache.corrupt_detected - corrupt_before
+
+
+def _worker(
+    task: Tuple[int, Cell, str, int, Optional[Dict[str, Any]]]
+) -> Tuple[int, int, Tuple[Any, ...]]:
+    """Evaluate one cell in a worker process.
+
+    Returns ``(index, attempt, payload)`` where payload is one of
+    ``("ok", value, was_cached, duration, quarantined)``,
+    ``("crash", message)``, or ``("error", traceback_text)`` — failures
+    travel as markers, never as raises, so the parent can apply its
+    retry policy deterministically.
+    """
+    index, cell, cache_dir, attempt, plan_params = task
+    plan = FaultPlan.from_params(plan_params)
+    cache = ResultCache(cache_dir)
+    key = cell_key(cell)
+    try:
+        value, was_cached, duration, quarantined = _evaluate(
+            cell, key, cache, plan, attempt, in_worker=True
+        )
+    except _SimulatedCrash as exc:
+        return index, attempt, ("crash", str(exc))
+    except Exception:
+        return index, attempt, ("error", traceback.format_exc())
+    return index, attempt, ("ok", value, was_cached, duration, quarantined)
 
 
 # --------------------------------------------------------------------------
 # Runner
 # --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner reacts to failing cells and unhealthy pools."""
+
+    #: Additional attempts after the first (0 = fail fast).
+    retries: int = 2
+    #: Base of the exponential backoff between attempts (seconds).
+    backoff_seconds: float = 0.05
+    #: Per-cell wall-clock budget; ``None`` = unbounded. Required for
+    #: recovery from *hard* worker deaths (the task simply vanishes).
+    timeout_seconds: Optional[float] = None
+    #: Pool respawns tolerated before degrading to serial execution.
+    max_pool_respawns: int = 2
+    #: Parent poll tick while waiting on workers (seconds).
+    poll_interval: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.backoff_seconds < 0:
+            raise ConfigError("backoff_seconds must be >= 0")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigError("timeout_seconds must be positive")
+        if self.max_pool_respawns < 0:
+            raise ConfigError("max_pool_respawns must be >= 0")
+        if self.poll_interval <= 0:
+            raise ConfigError("poll_interval must be positive")
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Default policy, honouring ``REPRO_CELL_TIMEOUT``."""
+        env = os.environ.get("REPRO_CELL_TIMEOUT")
+        timeout = None
+        if env is not None and env.strip():
+            try:
+                timeout = float(env)
+            except ValueError:
+                raise ConfigError(
+                    "REPRO_CELL_TIMEOUT must be a number of seconds, "
+                    f"got {env!r}"
+                ) from None
+        return cls(timeout_seconds=timeout)
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before dispatching attempt ``attempt`` (1-based)."""
+        return self.backoff_seconds * (2.0 ** max(attempt - 1, 0))
 
 
 @dataclass
@@ -363,6 +649,14 @@ class CellStats:
     #: run would have cost. ``serial_seconds / wall_seconds`` is the
     #: sweep's speedup versus that serial baseline.
     serial_seconds: float = 0.0
+    #: Cell attempts beyond the first (crash/timeout/error recovery).
+    retries: int = 0
+    #: Corrupt cache entries quarantined while serving these cells.
+    quarantined: int = 0
+    #: Pool respawns forced by crashed or wedged workers.
+    pool_respawns: int = 0
+    #: Cells completed in degraded serial mode (unhealthy pool).
+    degraded_cells: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -383,6 +677,10 @@ class CellStats:
         self.cache_hits += other.cache_hits
         self.wall_seconds += other.wall_seconds
         self.serial_seconds += other.serial_seconds
+        self.retries += other.retries
+        self.quarantined += other.quarantined
+        self.pool_respawns += other.pool_respawns
+        self.degraded_cells += other.degraded_cells
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-friendly view (used by ``BENCH_sweeps.json``)."""
@@ -394,6 +692,10 @@ class CellStats:
             "wall_seconds": self.wall_seconds,
             "serial_seconds_estimate": self.serial_seconds,
             "speedup_vs_serial": self.speedup_vs_serial,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "pool_respawns": self.pool_respawns,
+            "degraded_cells": self.degraded_cells,
         }
 
 
@@ -425,22 +727,79 @@ def collecting_stats() -> _StatsScope:
     return _StatsScope()
 
 
+class _CellState:
+    """Book-keeping for one cell across attempts (parallel path)."""
+
+    __slots__ = ("index", "cell", "key", "attempt", "deadline")
+
+    def __init__(self, index: int, cell: Cell, key: str):
+        self.index = index
+        self.cell = cell
+        self.key = key
+        self.attempt = 0
+        self.deadline: Optional[float] = None
+
+
 class SweepRunner:
     """Fans cells out over a process pool, through the result cache.
 
     ``jobs=1`` (or a single cell) runs inline in the parent — the
     serial path and the parallel path execute the exact same per-cell
     code, which is what makes them bit-identical.
+
+    ``policy`` governs retries/timeouts/pool respawns (default:
+    :meth:`RetryPolicy.from_env`). ``checkpoint`` (or the
+    ``REPRO_CHECKPOINT`` env var) journals completed cells for resume.
+    ``fault_plan`` injects deterministic faults — used by the chaos
+    tests and ``repro bench --suite faults``; leave ``None`` for
+    production runs. ``abort_after`` simulates a mid-sweep kill after
+    that many completions (testing hook for checkpoint/resume).
     """
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        abort_after: Optional[int] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache if cache is not None else ResultCache()
+        self.policy = policy if policy is not None else RetryPolicy.from_env()
+        if checkpoint is None:
+            env = os.environ.get("REPRO_CHECKPOINT")
+            if env:
+                checkpoint = SweepCheckpoint(env)
+        self.checkpoint = checkpoint
+        self.fault_plan = fault_plan
+        self.abort_after = abort_after
         self.stats = CellStats()
+        #: Structured degraded-mode events observed by this runner.
+        self.events: List[Dict[str, Any]] = []
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _event(self, event: str, **fields: Any) -> None:
+        self.events.append(log_event(logger, event, **fields))
+
+    def _completed(self, key: str, completed_so_far: int, total: int) -> None:
+        """Journal one completion; honour the simulated-kill hook."""
+        if self.checkpoint is not None:
+            self.checkpoint.record(key)
+        if (
+            self.abort_after is not None
+            and completed_so_far >= self.abort_after
+        ):
+            raise SweepAborted(
+                f"sweep aborted after {completed_so_far}/{total} cells "
+                "(simulated kill)",
+                completed=completed_so_far,
+                total=total,
+            )
+
+    # -- public API ----------------------------------------------------------
 
     def map(self, cells: Sequence[Cell]) -> List[Any]:
         """Evaluate cells (parallel, cached); results in given order."""
@@ -448,42 +807,291 @@ class SweepRunner:
         if not cells:
             return []
         start = time.perf_counter()
-        cache_dir = str(self.cache.directory)
-        tasks = [
-            (i, cell, cache_dir) for i, cell in enumerate(cells)
-        ]
+        keys = [cell_key(cell) for cell in cells]
         results: List[Any] = [None] * len(cells)
         batch = CellStats(cells=len(cells))
-        if self.jobs == 1 or len(cells) == 1:
-            outcomes = map(_worker, tasks)
-            self._drain(outcomes, results, batch)
-        else:
-            # fork shares the already-imported modules with workers;
-            # fall back to the platform default elsewhere.
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX
-                ctx = multiprocessing.get_context()
-            with ctx.Pool(processes=min(self.jobs, len(cells))) as pool:
-                self._drain(
-                    pool.imap_unordered(_worker, tasks), results, batch
-                )
-        batch.wall_seconds = time.perf_counter() - start
-        self.stats.absorb(batch)
-        if _ACTIVE_COLLECTOR is not None:
-            _ACTIVE_COLLECTOR.absorb(batch)
+        pending = list(range(len(cells)))
+        completed = 0
+
+        # Resume: cells journaled as complete are served straight from
+        # the cache without dispatching. A journaled key whose cache
+        # entry is gone (or corrupt) falls through and recomputes.
+        if self.checkpoint is not None:
+            finished_keys = self.checkpoint.load()
+            still_pending = []
+            for i in pending:
+                hit = None
+                if keys[i] in finished_keys:
+                    hit = self.cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit["value"]
+                    batch.cache_hits += 1
+                    batch.serial_seconds += hit["duration"]
+                    completed += 1
+                else:
+                    still_pending.append(i)
+            pending = still_pending
+
+        try:
+            if pending:
+                if self.jobs == 1 or len(pending) == 1:
+                    self._map_serial(
+                        cells, keys, pending, results, batch,
+                        completed, degraded=False,
+                    )
+                else:
+                    self._map_parallel(
+                        cells, keys, pending, results, batch, completed
+                    )
+        finally:
+            batch.wall_seconds = time.perf_counter() - start
+            self.stats.absorb(batch)
+            if _ACTIVE_COLLECTOR is not None:
+                _ACTIVE_COLLECTOR.absorb(batch)
         return results
 
-    @staticmethod
-    def _drain(
-        outcomes: Iterable[Tuple[int, Any, bool, float]],
+    # -- serial path ---------------------------------------------------------
+
+    def _map_serial(
+        self,
+        cells: List[Cell],
+        keys: List[str],
+        pending: List[int],
         results: List[Any],
         batch: CellStats,
+        completed: int,
+        degraded: bool,
     ) -> None:
-        for index, value, was_cached, duration in outcomes:
-            results[index] = value
+        """Evaluate ``pending`` inline, with the same retry semantics."""
+        total = len(cells)
+        for i in pending:
+            value, was_cached, duration = self._run_inline(
+                cells[i], keys[i], batch
+            )
+            results[i] = value
+            if was_cached:
+                batch.cache_hits += 1
+            else:
+                batch.computed += 1
+            if degraded:
+                batch.degraded_cells += 1
+            batch.serial_seconds += duration
+            completed += 1
+            self._completed(keys[i], completed, total)
+
+    def _run_inline(
+        self, cell: Cell, key: str, batch: CellStats
+    ) -> Tuple[Any, bool, float]:
+        """One cell, in-process, applying the retry policy."""
+        attempt = 0
+        while True:
+            try:
+                value, was_cached, duration, quarantined = _evaluate(
+                    cell, key, self.cache, self.fault_plan, attempt,
+                    in_worker=False,
+                )
+                batch.quarantined += quarantined
+                return value, was_cached, duration
+            except _SimulatedCrash as exc:
+                failure: Tuple[type, str] = (CellCrashed, str(exc))
+            except Exception:
+                failure = (CellFailed, traceback.format_exc())
+            attempt += 1
+            batch.retries += 1
+            self._event(
+                "cell_retry",
+                key=key[:16],
+                kind=cell.kind,
+                attempt=attempt,
+                reason=failure[0].__name__,
+            )
+            if attempt > self.policy.retries:
+                raise failure[0](
+                    f"cell {cell.kind!r} failed after {attempt} "
+                    f"attempt(s): {failure[1]}",
+                    kind=cell.kind,
+                    params=dict(cell.params),
+                    key=key,
+                    attempts=attempt,
+                )
+            time.sleep(self.policy.backoff_for(attempt))
+
+    # -- parallel path -------------------------------------------------------
+
+    def _spawn_pool(self, ctx, processes: int):
+        return ctx.Pool(processes=processes)
+
+    def _map_parallel(
+        self,
+        cells: List[Cell],
+        keys: List[str],
+        pending: List[int],
+        results: List[Any],
+        batch: CellStats,
+        completed: int,
+    ) -> None:
+        policy = self.policy
+        total = len(cells)
+        plan_params = (
+            self.fault_plan.as_params() if self.fault_plan else None
+        )
+        cache_dir = str(self.cache.directory)
+        # fork shares the already-imported modules with workers;
+        # fall back to the platform default elsewhere.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = multiprocessing.get_context()
+        processes = min(self.jobs, len(pending))
+        states = {i: _CellState(i, cells[i], keys[i]) for i in pending}
+        queue: deque = deque(pending)
+        backoff_heap: List[Tuple[float, int]] = []  # (ready_at, index)
+        inflight: Dict[int, Any] = {}  # index -> AsyncResult
+        respawns = 0
+
+        def finish(i: int, value: Any, was_cached: bool, duration: float,
+                   quarantined: int) -> None:
+            nonlocal completed
+            results[i] = value
             if was_cached:
                 batch.cache_hits += 1
             else:
                 batch.computed += 1
             batch.serial_seconds += duration
+            batch.quarantined += quarantined
+            states.pop(i, None)
+            completed += 1
+            self._completed(keys[i], completed, total)
+
+        def fail_or_retry(
+            i: int, exc_type: type, detail: str, now: float
+        ) -> None:
+            state = states[i]
+            state.attempt += 1
+            batch.retries += 1
+            self._event(
+                "cell_retry",
+                key=state.key[:16],
+                kind=state.cell.kind,
+                attempt=state.attempt,
+                reason=exc_type.__name__,
+            )
+            if state.attempt > policy.retries:
+                raise exc_type(
+                    f"cell {state.cell.kind!r} failed after "
+                    f"{state.attempt} attempt(s): {detail}",
+                    kind=state.cell.kind,
+                    params=dict(state.cell.params),
+                    key=state.key,
+                    attempts=state.attempt,
+                )
+            heapq.heappush(
+                backoff_heap,
+                (now + policy.backoff_for(state.attempt), i),
+            )
+
+        pool = None
+        try:
+            pool = self._spawn_pool(ctx, processes)
+            while queue or inflight or backoff_heap:
+                now = time.monotonic()
+                while backoff_heap and backoff_heap[0][0] <= now:
+                    queue.append(heapq.heappop(backoff_heap)[1])
+                # Dispatch everything runnable.
+                while queue:
+                    i = queue.popleft()
+                    state = states[i]
+                    task = (
+                        i, state.cell, cache_dir, state.attempt,
+                        plan_params,
+                    )
+                    inflight[i] = pool.apply_async(_worker, (task,))
+                    state.deadline = (
+                        now + policy.timeout_seconds
+                        if policy.timeout_seconds is not None
+                        else None
+                    )
+                ready = [
+                    i for i, res in inflight.items() if res.ready()
+                ]
+                if not ready:
+                    if not inflight:
+                        # Only backed-off retries remain: sleep to them.
+                        if backoff_heap:
+                            time.sleep(
+                                max(backoff_heap[0][0] - now, 0.0)
+                                + 1e-4
+                            )
+                        continue
+                    now = time.monotonic()
+                    timed_out = [
+                        i
+                        for i, res in inflight.items()
+                        if states[i].deadline is not None
+                        and now > states[i].deadline
+                    ]
+                    if timed_out:
+                        # A wedged (or vanished) worker still owns its
+                        # pool slot: reclaim everything by respawning
+                        # the pool and re-dispatching in-flight cells.
+                        respawns += 1
+                        batch.pool_respawns += 1
+                        self._event(
+                            "pool_respawn",
+                            respawn=respawns,
+                            timed_out=len(timed_out),
+                            inflight=len(inflight),
+                        )
+                        pool.terminate()
+                        pool.join()
+                        pool = None
+                        survivors = [
+                            i for i in inflight if i not in timed_out
+                        ]
+                        inflight.clear()
+                        for i in timed_out:
+                            fail_or_retry(
+                                i,
+                                CellTimeout,
+                                f"exceeded {policy.timeout_seconds}s",
+                                now,
+                            )
+                        # Innocent in-flight cells lost their worker:
+                        # re-dispatch at the same attempt (their fault
+                        # decisions replay identically).
+                        queue.extend(survivors)
+                        if respawns > policy.max_pool_respawns:
+                            self._event(
+                                "degraded_serial",
+                                respawns=respawns,
+                                remaining=len(states),
+                            )
+                            remaining = sorted(states)
+                            self._map_serial(
+                                cells, keys, remaining, results,
+                                batch, completed, degraded=True,
+                            )
+                            return
+                        pool = self._spawn_pool(ctx, processes)
+                        continue
+                    time.sleep(policy.poll_interval)
+                    continue
+                for i in ready:
+                    res = inflight.pop(i)
+                    try:
+                        _index, _attempt, payload = res.get()
+                    except Exception as exc:  # unpicklable return etc.
+                        payload = ("crash", repr(exc))
+                    now = time.monotonic()
+                    tag = payload[0]
+                    if tag == "ok":
+                        _tag, value, was_cached, duration, quar = payload
+                        finish(i, value, was_cached, duration, quar)
+                    elif tag == "crash":
+                        fail_or_retry(i, CellCrashed, payload[1], now)
+                    else:
+                        fail_or_retry(i, CellFailed, payload[1], now)
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import SystemConfig
-from repro.core.allocation import Allocation
+from repro.core.allocation import Allocation, AllocationInvalid
 from repro.noc.mesh import MeshNoc
 
 
@@ -143,6 +143,62 @@ class TestSecurityViews:
         alloc.add(0, "b", 0.2)
         vm_map = {"a": 0, "b": 0}
         assert alloc.violates_bank_isolation(vm_map) == []
+
+
+class TestValidationFailures:
+    """validate()/add() raise AllocationInvalid naming the culprit."""
+
+    def test_add_out_of_range_names_bank_and_app(self, alloc):
+        with pytest.raises(AllocationInvalid) as info:
+            alloc.add(99, "x", 0.1)
+        assert info.value.bank == 99
+        assert info.value.app == "x"
+
+    def test_add_over_commit_names_bank_and_app(self, alloc):
+        alloc.add(0, "x", 1.0)
+        with pytest.raises(AllocationInvalid) as info:
+            alloc.add(0, "y", 0.1)
+        assert info.value.bank == 0
+        assert info.value.app == "y"
+
+    def test_validate_detects_negative_entry(self, alloc):
+        alloc.allocs[2] = {"x": -0.5}
+        with pytest.raises(AllocationInvalid) as info:
+            alloc.validate()
+        assert info.value.bank == 2
+        assert info.value.app == "x"
+
+    def test_validate_detects_out_of_range_bank(self, alloc):
+        alloc.allocs[99] = {"x": 0.5}
+        with pytest.raises(AllocationInvalid) as info:
+            alloc.validate()
+        assert info.value.bank == 99
+
+    def test_validate_detects_over_commit(self, alloc):
+        alloc.allocs[1] = {"x": 0.8, "y": 0.8}
+        with pytest.raises(AllocationInvalid) as info:
+            alloc.validate()
+        assert info.value.bank == 1
+        assert info.value.app in ("x", "y")
+
+    def test_allocation_invalid_is_a_value_error(self, alloc):
+        alloc.allocs[1] = {"x": 2.0}
+        with pytest.raises(ValueError):
+            alloc.validate()
+
+    def test_validate_isolation_names_bank_and_vms(self, alloc):
+        alloc.add(4, "a", 0.2)
+        alloc.add(4, "b", 0.2)
+        vm_map = {"a": 0, "b": 1}
+        with pytest.raises(AllocationInvalid) as info:
+            alloc.validate_isolation(vm_map)
+        assert info.value.bank == 4
+        assert info.value.vms == (0, 1)
+
+    def test_validate_isolation_passes_for_isolated(self, alloc):
+        alloc.add(0, "a", 0.2)
+        alloc.add(1, "b", 0.2)
+        alloc.validate_isolation({"a": 0, "b": 1})
 
 
 class TestDescriptors:

@@ -1,0 +1,220 @@
+"""Degraded-mode runtime tests: telemetry sanitization, placer
+fallback, the bounded history ring, and the security invariant under
+injected chaos."""
+
+import math
+
+import pytest
+
+from repro.config import ControllerConfig, SystemConfig
+from repro.core.controller import FeedbackController
+from repro.core.designs import make_design
+from repro.core.runtime import JumanjiRuntime
+from repro.errors import PlacementFailed, TelemetryInvalid
+from repro.faults import FaultPlan
+from repro.model.workload import make_default_workload
+
+
+def make_runtime(**kwargs):
+    workload = make_default_workload(["xapian"], mix_seed=0, load="high")
+    design = make_design("Jumanji")
+    runtime = JumanjiRuntime(
+        design,
+        workload.config,
+        context_builder=lambda sizes: workload.build_context(sizes),
+        **kwargs,
+    )
+    for app in workload.lc_apps:
+        runtime.register_lc_app(app, deadline_cycles=1e7)
+    return runtime, workload
+
+
+class TestTelemetrySanitization:
+    def test_controller_rejects_garbage_samples(self):
+        controller = FeedbackController(SystemConfig())
+        controller.register("lc", 1e7)
+        for bad in (math.nan, math.inf, -1.0, "fast", None):
+            with pytest.raises(TelemetryInvalid):
+                controller.force_update("lc", bad)
+
+    def test_telemetry_invalid_is_a_value_error(self):
+        controller = FeedbackController(SystemConfig())
+        controller.register("lc", 1e7)
+        with pytest.raises(ValueError):
+            controller.request_completed("lc", -5.0)
+
+    def test_runtime_drops_bad_tails_and_holds_sizes(self):
+        runtime, workload = make_runtime()
+        app = workload.lc_apps[0]
+        runtime.report_tail(app, 2e7)  # valid: panic/grow
+        good = runtime.lat_sizes()[app]
+        for bad in (math.nan, -3.0, math.inf, "slow"):
+            runtime.report_tail(app, bad)
+        assert runtime.lat_sizes()[app] == good
+        drops = [
+            e for e in runtime.events
+            if e["event"] == "telemetry_invalid"
+        ]
+        assert len(drops) == 4
+        assert drops[0]["app"] == app
+
+    def test_runtime_drops_bad_latencies(self):
+        runtime, workload = make_runtime()
+        app = workload.lc_apps[0]
+        runtime.report_latency(app, math.nan)
+        runtime.report_latency(app, -1.0)
+        assert sum(
+            1 for e in runtime.events
+            if e["event"] == "telemetry_invalid"
+        ) == 2
+        # The window never saw the garbage: valid traffic still works.
+        for _ in range(25):
+            runtime.report_latency(app, 1e5)
+        runtime.reconfigure()
+        assert runtime.lat_sizes()[app] > 0
+
+
+class _ExplodingDesign:
+    """Succeeds for ``good_epochs`` allocations, then raises."""
+
+    name = "Exploding"
+    uses_feedback = True
+
+    def __init__(self, inner, good_epochs):
+        self._inner = inner
+        self._good = good_epochs
+        self._calls = 0
+
+    def allocate(self, ctx):
+        self._calls += 1
+        if self._calls > self._good:
+            raise RuntimeError("placer exploded")
+        return self._inner.allocate(ctx)
+
+
+class TestPlacerFallback:
+    def _runtime_with(self, good_epochs):
+        workload = make_default_workload(
+            ["xapian"], mix_seed=0, load="high"
+        )
+        design = _ExplodingDesign(make_design("Jumanji"), good_epochs)
+        runtime = JumanjiRuntime(
+            design,
+            workload.config,
+            context_builder=lambda sizes: workload.build_context(sizes),
+        )
+        for app in workload.lc_apps:
+            runtime.register_lc_app(app, deadline_cycles=1e7)
+        return runtime, workload
+
+    def test_falls_back_to_previous_validated_allocation(self):
+        runtime, workload = self._runtime_with(good_epochs=1)
+        first = runtime.reconfigure()
+        assert not first.degraded
+        second = runtime.reconfigure()
+        assert second.degraded
+        assert second.allocation is first.allocation
+        assert second.lat_sizes == first.lat_sizes
+        assert any(
+            e["event"] == "placement_failed" for e in runtime.events
+        )
+        # The fallback still satisfies the security invariant.
+        vm_map = {
+            a: workload.vm_of(a)
+            for vm in workload.vms
+            for a in vm.apps
+        }
+        assert second.allocation.violates_bank_isolation(vm_map) == []
+
+    def test_no_prior_allocation_propagates(self):
+        runtime, _ = self._runtime_with(good_epochs=0)
+        with pytest.raises(PlacementFailed) as info:
+            runtime.reconfigure()
+        assert info.value.epoch == 0
+
+    def test_recovers_when_placer_heals(self):
+        runtime, _ = self._runtime_with(good_epochs=1)
+        runtime.reconfigure()
+        runtime.reconfigure()  # degraded
+        runtime.design._good = 10**9  # placer healed
+        third = runtime.reconfigure()
+        assert not third.degraded
+
+
+class TestHistoryRing:
+    """Satellite: bounded reconfiguration history."""
+
+    def test_default_keeps_all(self):
+        runtime, _ = make_runtime()
+        for _ in range(5):
+            runtime.reconfigure()
+        assert [r.epoch for r in runtime.history] == list(range(5))
+
+    def test_ring_caps_length(self):
+        runtime, _ = make_runtime(
+            controller_config=ControllerConfig(history_limit=3)
+        )
+        for _ in range(8):
+            runtime.reconfigure()
+        assert len(runtime.history) == 3
+        assert [r.epoch for r in runtime.history] == [5, 6, 7]
+        assert runtime.last_record.epoch == 7
+
+    def test_fallback_survives_tiny_ring(self):
+        workload = make_default_workload(
+            ["xapian"], mix_seed=0, load="high"
+        )
+        design = _ExplodingDesign(make_design("Jumanji"), 1)
+        runtime = JumanjiRuntime(
+            design,
+            workload.config,
+            context_builder=lambda sizes: workload.build_context(sizes),
+            controller_config=ControllerConfig(history_limit=1),
+        )
+        for app in workload.lc_apps:
+            runtime.register_lc_app(app, deadline_cycles=1e7)
+        first = runtime.reconfigure()
+        second = runtime.reconfigure()
+        assert second.degraded
+        assert second.allocation is first.allocation
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(history_limit=0)
+
+
+class TestChaosDrill:
+    def test_security_invariant_survives_degraded_epochs(self):
+        from repro.chaos import run_degraded_runtime
+
+        result = run_degraded_runtime(
+            epochs=12,
+            plan=FaultPlan(
+                seed=7,
+                telemetry_nan=0.25,
+                telemetry_negative=0.2,
+                telemetry_drop=0.2,
+                cell_error=0.3,
+            ).as_params(),
+        )
+        assert result["isolation_ok"]
+        assert result["shared_bank_epochs"] == []
+        # The plan actually bit: degraded epochs and dropped samples.
+        assert result["degraded_epochs"]
+        assert result["telemetry_events"] > 0
+
+    def test_drill_is_deterministic(self):
+        from repro.chaos import run_degraded_runtime
+
+        plan = FaultPlan(seed=3, telemetry_nan=0.3).as_params()
+        a = run_degraded_runtime(epochs=6, plan=plan)
+        b = run_degraded_runtime(epochs=6, plan=plan)
+        assert a == b
+
+    def test_clean_drill_never_degrades(self):
+        from repro.chaos import run_degraded_runtime
+
+        result = run_degraded_runtime(epochs=4, plan=None)
+        assert result["isolation_ok"]
+        assert result["degraded_epochs"] == []
+        assert result["telemetry_events"] == 0

@@ -1,0 +1,421 @@
+"""Fault-tolerant runner tests: retries, crash recovery, corrupt-cache
+quarantine, checkpoint/resume, and the chaos differential.
+
+The guiding invariant: fault recovery may change *cost* (retries, pool
+respawns, wall time) but never *results* — a sweep that suffered
+injected crashes, timeouts, and corrupt cache entries must be
+bit-identical to a clean run. Slow fault-matrix cases (worker stalls,
+hard ``os._exit`` deaths, degraded-serial fallback) carry the ``chaos``
+marker and run via ``pytest -m chaos`` / ``make check-faults``.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    CellCrashed,
+    CellFailed,
+    CellTimeout,
+    ConfigError,
+    SweepAborted,
+)
+from repro.faults import FaultPlan
+from repro.runner import (
+    Cell,
+    ResultCache,
+    RetryPolicy,
+    SweepCheckpoint,
+    SweepRunner,
+    cell_key,
+    register_cell_kind,
+    resolve_jobs,
+)
+
+
+@register_cell_kind("probe_square")
+def _probe_square(x):
+    return {"x": x, "sq": x * x}
+
+
+def _cells(n=6):
+    return [Cell("probe_square", {"x": i}) for i in range(n)]
+
+
+def _fast_policy(**kwargs):
+    defaults = dict(retries=8, backoff_seconds=0.002)
+    defaults.update(kwargs)
+    return RetryPolicy(**defaults)
+
+
+def _expected(n=6):
+    return [{"x": i, "sq": i * i} for i in range(n)]
+
+
+class TestResolveJobs:
+    """Satellite: garbage REPRO_JOBS / args fail with a clear error."""
+
+    @pytest.mark.parametrize("env", ["banana", "2.5", "", " ", "0", "-3"])
+    def test_garbage_env_rejected_or_ignored(self, monkeypatch, env):
+        monkeypatch.setenv("REPRO_JOBS", env)
+        if env.strip() == "":
+            # Blank is "unset", not garbage.
+            assert resolve_jobs() >= 1
+        else:
+            with pytest.raises(ConfigError, match="REPRO_JOBS"):
+                resolve_jobs()
+
+    def test_valid_env_used(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert resolve_jobs(2) == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True, "4"])
+    def test_garbage_arg_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            resolve_jobs(bad)
+
+    def test_config_error_is_a_value_error(self):
+        # Callers that predate the taxonomy catch ValueError.
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestEnvScaleKnobs:
+    """REPRO_MIXES / REPRO_EPOCHS fail loudly on garbage values."""
+
+    @pytest.mark.parametrize("name,fn_default", [
+        ("REPRO_MIXES", 6), ("REPRO_EPOCHS", 20),
+    ])
+    def test_garbage_rejected(self, monkeypatch, name, fn_default):
+        from repro.experiments.common import num_epochs, num_mixes
+
+        fn = num_mixes if name == "REPRO_MIXES" else num_epochs
+        for bad in ("many", "1.5", "0", "-2"):
+            monkeypatch.setenv(name, bad)
+            with pytest.raises(ConfigError, match=name):
+                fn()
+        monkeypatch.setenv(name, "3")
+        assert fn() == 3
+        monkeypatch.delenv(name)
+        assert fn() == fn_default
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(timeout_seconds=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_seconds=-0.1)
+
+    def test_backoff_doubles(self):
+        policy = RetryPolicy(backoff_seconds=0.1)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.4)
+
+    def test_env_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "1.5")
+        assert RetryPolicy.from_env().timeout_seconds == 1.5
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "soon")
+        with pytest.raises(ConfigError, match="REPRO_CELL_TIMEOUT"):
+            RetryPolicy.from_env()
+
+
+class TestCacheCorruption:
+    """Satellite: corrupt cache entries are quarantined, not fatal."""
+
+    def _seed_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache=cache)
+        results = runner.map(_cells())
+        assert results == _expected()
+        return cache
+
+    def test_truncated_entry_recomputed(self, tmp_path):
+        cache = self._seed_cache(tmp_path)
+        key = cell_key(_cells()[2])
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+
+        runner = SweepRunner(jobs=1, cache=cache)
+        assert runner.map(_cells()) == _expected()
+        assert runner.stats.quarantined == 1
+        assert cache.corrupt_detected == 1
+        assert len(cache.quarantined()) == 1
+        # The recomputed entry is valid again.
+        assert cache.get(key)["value"] == {"x": 2, "sq": 4}
+
+    def test_garbage_entry_recomputed(self, tmp_path):
+        cache = self._seed_cache(tmp_path)
+        key = cell_key(_cells()[0])
+        cache._path(key).write_bytes(b"not a cache entry at all")
+
+        runner = SweepRunner(jobs=1, cache=cache)
+        assert runner.map(_cells()) == _expected()
+        assert runner.stats.quarantined == 1
+
+    def test_valid_checksum_bad_pickle_recomputed(self, tmp_path):
+        import hashlib
+
+        from repro.runner import _CACHE_MAGIC
+
+        cache = self._seed_cache(tmp_path)
+        key = cell_key(_cells()[1])
+        payload = b"\x80\x04garbage-that-is-not-a-pickle"
+        cache._path(key).write_bytes(
+            _CACHE_MAGIC + hashlib.sha256(payload).digest() + payload
+        )
+        runner = SweepRunner(jobs=1, cache=cache)
+        assert runner.map(_cells()) == _expected()
+        assert runner.stats.quarantined == 1
+
+    def test_injected_corruption_differential(self, tmp_path):
+        plan = FaultPlan(seed=2, cache_corrupt=0.8)
+        runner = SweepRunner(
+            jobs=1, cache=ResultCache(tmp_path), fault_plan=plan,
+            policy=_fast_policy(),
+        )
+        assert runner.map(_cells()) == _expected()
+        # Second pass reads the corrupted entries: quarantine + recompute.
+        runner2 = SweepRunner(
+            jobs=1, cache=ResultCache(tmp_path), fault_plan=plan,
+            policy=_fast_policy(),
+        )
+        assert runner2.map(_cells()) == _expected()
+        assert runner2.stats.quarantined > 0
+
+
+class TestRetries:
+    def test_injected_errors_converge_serial(self, tmp_path):
+        plan = FaultPlan(seed=4, cell_error=0.6)
+        runner = SweepRunner(
+            jobs=1, cache=ResultCache(tmp_path), fault_plan=plan,
+            policy=_fast_policy(),
+        )
+        assert runner.map(_cells()) == _expected()
+        assert runner.stats.retries > 0
+        assert any(
+            e["event"] == "cell_retry" for e in runner.events
+        )
+
+    def test_injected_crashes_converge_parallel(self, tmp_path):
+        plan = FaultPlan(seed=6, worker_crash=0.6)
+        runner = SweepRunner(
+            jobs=2, cache=ResultCache(tmp_path), fault_plan=plan,
+            policy=_fast_policy(),
+        )
+        assert runner.map(_cells()) == _expected()
+        assert runner.stats.retries > 0
+
+    def test_exhausted_retries_raise_cell_failed(self, tmp_path):
+        plan = FaultPlan(seed=1, cell_error=1.0)
+        runner = SweepRunner(
+            jobs=1, cache=ResultCache(tmp_path), fault_plan=plan,
+            policy=_fast_policy(retries=2),
+        )
+        with pytest.raises(CellFailed) as info:
+            runner.map(_cells(2))
+        assert info.value.kind == "probe_square"
+        assert info.value.attempts == 3
+
+    def test_exhausted_retries_raise_cell_crashed(self, tmp_path):
+        plan = FaultPlan(seed=1, worker_crash=1.0)
+        runner = SweepRunner(
+            jobs=2, cache=ResultCache(tmp_path), fault_plan=plan,
+            policy=_fast_policy(retries=1),
+        )
+        with pytest.raises(CellCrashed):
+            runner.map(_cells(3))
+
+
+class TestCheckpointResume:
+    def test_journal_tolerates_garbage_lines(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "sweep.ckpt")
+        ckpt.record("aaa")
+        ckpt.record("bbb")
+        with open(ckpt.path, "a") as fh:
+            fh.write("this is not json\n")
+            fh.write(json.dumps({"wrong": "shape"}) + "\n")
+            fh.write('{"key": "ccc"')  # truncated by a kill
+        assert ckpt.load() == {"aaa", "bbb"}
+
+    def test_clear(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "sweep.ckpt")
+        ckpt.record("aaa")
+        ckpt.clear()
+        assert ckpt.load() == set()
+        ckpt.clear()  # idempotent when missing
+
+    def test_killed_sweep_resumes_from_checkpoint(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        ckpt = SweepCheckpoint(tmp_path / "sweep.ckpt")
+        killed = SweepRunner(
+            jobs=1, cache=cache, checkpoint=ckpt, abort_after=2
+        )
+        with pytest.raises(SweepAborted) as info:
+            killed.map(_cells())
+        assert info.value.completed == 2
+        assert len(ckpt.load()) == 2
+
+        resumed = SweepRunner(jobs=1, cache=cache, checkpoint=ckpt)
+        assert resumed.map(_cells()) == _expected()
+        # Only the unfinished cells were recomputed.
+        assert resumed.stats.cache_hits == 2
+        assert resumed.stats.computed == 4
+
+    def test_resume_recomputes_corrupt_checkpointed_cell(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        ckpt = SweepCheckpoint(tmp_path / "sweep.ckpt")
+        SweepRunner(jobs=1, cache=cache, checkpoint=ckpt).map(_cells())
+        # A journaled cell whose cache entry rotted must recompute.
+        key = cell_key(_cells()[3])
+        cache._path(key).write_bytes(b"rotted")
+        resumed = SweepRunner(jobs=1, cache=cache, checkpoint=ckpt)
+        assert resumed.map(_cells()) == _expected()
+        assert resumed.stats.computed == 1
+        assert resumed.stats.cache_hits == 5
+
+    def test_checkpoint_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_CHECKPOINT", str(tmp_path / "env.ckpt")
+        )
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "c"))
+        runner.map(_cells(3))
+        assert len(runner.checkpoint.load()) == 3
+
+
+class TestChaosDifferential:
+    def test_small_sweep_identical_under_faults(self, tmp_path):
+        from repro.chaos import differential_sweep
+
+        clean = SweepRunner(
+            jobs=2, cache=ResultCache(tmp_path / "clean")
+        )
+        faulty = SweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path / "chaos"),
+            policy=_fast_policy(),
+            fault_plan=FaultPlan(
+                seed=0, worker_crash=0.3, cell_error=0.2,
+                cache_corrupt=0.4,
+            ),
+        )
+        identical, clean_outcomes, faulty_outcomes = differential_sweep(
+            clean,
+            faulty,
+            designs=("Static", "Jumanji"),
+            lc_workloads=("xapian",),
+            loads=("high",),
+            mixes=2,
+            epochs=2,
+        )
+        assert identical
+        assert len(clean_outcomes) == 2 * 2
+
+
+@pytest.mark.chaos
+class TestChaosMatrix:
+    """Slow fault-matrix cases: stalls, hard deaths, degraded serial."""
+
+    def test_stalled_workers_respawn_and_converge(self, tmp_path):
+        plan = FaultPlan(seed=8, cell_stall=0.5, stall_seconds=5.0)
+        runner = SweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path),
+            fault_plan=plan,
+            policy=_fast_policy(timeout_seconds=0.3, poll_interval=0.01),
+        )
+        assert runner.map(_cells()) == _expected()
+        assert runner.stats.pool_respawns >= 1
+        assert any(
+            e["event"] == "pool_respawn" for e in runner.events
+        )
+
+    def test_hard_worker_deaths_recovered_by_timeout(self, tmp_path):
+        plan = FaultPlan(seed=12, hard_crash=0.5)
+        runner = SweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path),
+            fault_plan=plan,
+            policy=_fast_policy(timeout_seconds=0.4, poll_interval=0.01),
+        )
+        assert runner.map(_cells()) == _expected()
+        assert runner.stats.pool_respawns >= 1
+
+    def test_unhealthy_pool_degrades_to_serial(self, tmp_path):
+        # Stall every attempt: the pool can never make progress, so
+        # after max_pool_respawns the runner must fall back to inline
+        # execution (where stalls are not injected) and still finish.
+        plan = FaultPlan(seed=3, cell_stall=1.0, stall_seconds=5.0)
+        runner = SweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path),
+            fault_plan=plan,
+            policy=_fast_policy(
+                timeout_seconds=0.25,
+                poll_interval=0.01,
+                max_pool_respawns=1,
+                retries=20,
+            ),
+        )
+        assert runner.map(_cells()) == _expected()
+        assert runner.stats.degraded_cells > 0
+        assert any(
+            e["event"] == "degraded_serial" for e in runner.events
+        )
+
+    def test_timeout_exhaustion_raises_cell_timeout(self, tmp_path):
+        plan = FaultPlan(seed=3, cell_stall=1.0, stall_seconds=5.0)
+        runner = SweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path),
+            fault_plan=plan,
+            policy=_fast_policy(
+                timeout_seconds=0.25,
+                poll_interval=0.01,
+                retries=1,
+                max_pool_respawns=50,
+            ),
+        )
+        with pytest.raises(CellTimeout):
+            runner.map(_cells(3))
+
+    def test_full_fault_matrix_differential(self, tmp_path):
+        from repro.chaos import differential_sweep
+
+        clean = SweepRunner(
+            jobs=2, cache=ResultCache(tmp_path / "clean")
+        )
+        faulty = SweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path / "chaos"),
+            policy=_fast_policy(
+                timeout_seconds=2.0, poll_interval=0.01, retries=10
+            ),
+            fault_plan=FaultPlan(
+                seed=1,
+                worker_crash=0.2,
+                hard_crash=0.1,
+                cell_stall=0.1,
+                stall_seconds=3.0,
+                cell_error=0.2,
+                cache_corrupt=0.3,
+            ),
+        )
+        identical, clean_outcomes, _ = differential_sweep(
+            clean,
+            faulty,
+            designs=("Static", "Jumanji"),
+            lc_workloads=("xapian",),
+            loads=("high",),
+            mixes=2,
+            epochs=2,
+        )
+        assert identical
+        assert len(clean_outcomes) == 4

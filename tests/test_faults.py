@@ -1,0 +1,124 @@
+"""Tests for the deterministic fault-injection layer (repro.faults)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    active_plan,
+    corrupt_tail_sample,
+    injected_faults,
+)
+
+
+class TestPlanValidation:
+    def test_probabilities_must_be_in_unit_interval(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(worker_crash=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(cell_error=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(stall_seconds=-1.0)
+
+    def test_boundary_probabilities_allowed(self):
+        FaultPlan(worker_crash=0.0, cache_corrupt=1.0)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().fires("meteor_strike", "key")
+
+    def test_from_params_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="meteor"):
+            FaultPlan.from_params({"seed": 1, "meteor": 0.5})
+
+    def test_params_round_trip(self):
+        plan = FaultPlan(
+            seed=42, worker_crash=0.25, telemetry_nan=0.1,
+            stall_seconds=1.5,
+        )
+        assert FaultPlan.from_params(plan.as_params()) == plan
+        assert FaultPlan.from_params(None) is None
+
+    def test_any_enabled(self):
+        assert not FaultPlan().any_enabled
+        assert FaultPlan(cache_corrupt=0.01).any_enabled
+
+
+class TestDeterminism:
+    def test_same_inputs_same_decision(self):
+        a = FaultPlan(seed=7, worker_crash=0.5)
+        b = FaultPlan(seed=7, worker_crash=0.5)
+        for attempt in range(4):
+            for k in range(50):
+                key = f"cell-{k}"
+                assert a.fires("worker_crash", key, attempt) == b.fires(
+                    "worker_crash", key, attempt
+                )
+
+    def test_roll_is_uniform_enough(self):
+        plan = FaultPlan(seed=3)
+        rolls = [plan.roll("cell_error", f"k{i}") for i in range(500)]
+        assert all(0.0 <= r < 1.0 for r in rolls)
+        assert abs(sum(rolls) / len(rolls) - 0.5) < 0.05
+
+    def test_seed_changes_decisions(self):
+        a = FaultPlan(seed=0, cell_error=0.5)
+        b = FaultPlan(seed=1, cell_error=0.5)
+        decisions_a = [a.fires("cell_error", f"k{i}") for i in range(64)]
+        decisions_b = [b.fires("cell_error", f"k{i}") for i in range(64)]
+        assert decisions_a != decisions_b
+
+    def test_attempts_draw_independently(self):
+        # A p<1 fault must not fire on *every* retry of a key it hit
+        # once, or retries could never converge.
+        plan = FaultPlan(seed=5, worker_crash=0.5)
+        keys_hit_then_spared = 0
+        for k in range(40):
+            draws = [
+                plan.fires("worker_crash", f"k{k}", attempt)
+                for attempt in range(6)
+            ]
+            if draws[0] and not all(draws):
+                keys_hit_then_spared += 1
+        assert keys_hit_then_spared > 0
+
+    def test_zero_probability_never_fires(self):
+        plan = FaultPlan(seed=9)
+        assert not any(
+            plan.fires(site, f"k{i}")
+            for site in FAULT_SITES
+            for i in range(20)
+        )
+
+
+class TestTelemetryCorruption:
+    def test_no_plan_passes_through(self):
+        assert corrupt_tail_sample(None, "k", 123.0) == 123.0
+
+    def test_nan_site(self):
+        plan = FaultPlan(telemetry_nan=1.0)
+        assert math.isnan(corrupt_tail_sample(plan, "k", 5.0))
+
+    def test_negative_site(self):
+        plan = FaultPlan(telemetry_negative=1.0)
+        assert corrupt_tail_sample(plan, "k", 5.0) < 0
+
+    def test_drop_site(self):
+        plan = FaultPlan(telemetry_drop=1.0)
+        assert corrupt_tail_sample(plan, "k", 5.0) is None
+
+    def test_clean_plan_preserves_value(self):
+        assert corrupt_tail_sample(FaultPlan(), "k", 7.5) == 7.5
+
+
+class TestGlobalPlan:
+    def test_injected_faults_scopes_plan(self):
+        assert active_plan() is None
+        plan = FaultPlan(seed=1, cell_error=0.5)
+        with injected_faults(plan) as installed:
+            assert installed is plan
+            assert active_plan() is plan
+        assert active_plan() is None
