@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test check check-faults bench bench-smoke \
-	bench-tracesim bench-full examples figures clean
+	bench-tracesim bench-model bench-full examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,7 @@ check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	$(MAKE) bench-smoke
 	$(MAKE) bench-tracesim
+	$(MAKE) bench-model
 	$(MAKE) check-faults
 
 # Chaos smoke (seconds, fixed seed): the fault-injection bench suite —
@@ -46,6 +47,16 @@ bench-tracesim:
 	PYTHONPATH=src $(PYTHON) -m repro bench --suite tracesim \
 	  --accesses 1000 --seeds 2 --output BENCH_tracesim_smoke.json
 
+# Tiny epoch-engine benchmark (seconds): runs every fig13 design under
+# both the vectorised fast engine and the frozen scalar reference on
+# one small mix and exits non-zero if the two diverge bit-for-bit
+# (stats_identical gate). Writes to a scratch path so the committed
+# default-scale BENCH_model.json (regenerate with
+# `python -m repro bench --suite model`) survives.
+bench-model:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite model \
+	  --mixes 1 --epochs 4 --output BENCH_model_smoke.json
+
 # Paper-scale sweep (40 mixes, 25 epochs) — takes a while.
 bench-full:
 	REPRO_MIXES=40 REPRO_EPOCHS=25 \
@@ -63,5 +74,5 @@ figures:
 clean:
 	rm -rf results/ .pytest_cache .benchmarks
 	rm -f BENCH_sweeps.json BENCH_tracesim_smoke.json \
-	  BENCH_faults_smoke.json
+	  BENCH_model_smoke.json BENCH_faults_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

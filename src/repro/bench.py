@@ -15,9 +15,21 @@ Two suites:
   path (``repro.sim.tracesim``) against the frozen scalar reference
   (``repro.sim.reference``) on byte-identical replayed streams, checks
   the aggregate :class:`~repro.sim.tracesim.TraceStats` are
-  bit-identical, shards per-seed trace runs over the runner pool, and
-  writes ``BENCH_tracesim.json``. ``--profile`` additionally dumps
-  cProfile stats for one closed-loop simulated epoch.
+  bit-identical, shards per-seed trace runs over the runner pool
+  (capped at 4 workers unless a job count is pinned — the cells are too
+  small to amortise a bigger pool), and writes ``BENCH_tracesim.json``.
+  ``--profile`` additionally dumps cProfile stats for one closed-loop
+  simulated epoch.
+
+* ``--suite model`` benchmarks the vectorised epoch engine against the
+  frozen scalar reference (``repro.model.reference``) on the Fig. 13
+  epoch loop: every (design, batch-mix) cell is run end-to-end through
+  :class:`~repro.model.system.SystemModel` under both engines with the
+  same seeds, the two :class:`~repro.model.system.RunResult` objects
+  are required to be bit-identical (``stats_identical``), and the
+  report records per-design and overall speedups plus placement-memo
+  hit counts. Exits non-zero if any cell diverges or the deadline memo
+  is unbounded. Writes ``BENCH_model.json``.
 
 * ``--suite faults`` is the chaos smoke: it runs one mini-sweep twice
   on throwaway cache directories — once clean, once under a seeded
@@ -53,6 +65,7 @@ __all__ = [
     "BENCH_FIGURES",
     "run_bench",
     "run_tracesim_bench",
+    "run_model_bench",
     "run_faults_bench",
     "add_bench_arguments",
     "cmd_bench",
@@ -331,6 +344,16 @@ def run_tracesim_bench(
     if seeds < 1:
         raise ValueError("need at least one sharded seed run")
     jobs_resolved = resolve_jobs(jobs)
+    # The sharded phase runs only a handful of small cells; spreading
+    # them over a huge default pool pays more in worker spin-up than the
+    # parallelism returns (and on busy many-core boxes the measured
+    # "speedup" drops below 1x). Unless the caller pinned a job count
+    # (arg or REPRO_JOBS), cap the shard pool at 4 workers and record
+    # the pool size actually used in the report.
+    if jobs is None and not (os.environ.get("REPRO_JOBS") or "").strip():
+        shard_jobs = min(4, os.cpu_count() or 1)
+    else:
+        shard_jobs = jobs_resolved
     cache = ResultCache()
     if cold:
         cache.clear()
@@ -371,7 +394,7 @@ def run_tracesim_bench(
         for seed in range(seeds)
     ]
     shard_start = time.perf_counter()
-    _, runner = shard_tracesim_runs(run_specs, jobs=jobs_resolved)
+    _, runner = shard_tracesim_runs(run_specs, jobs=shard_jobs)
     shard_wall = time.perf_counter() - shard_start
 
     report: Dict[str, Any] = {
@@ -399,6 +422,7 @@ def run_tracesim_bench(
         "sharded_runs": dict(
             runner.stats.as_dict(),
             seeds=seeds,
+            pool_jobs=shard_jobs,
             wall_seconds=shard_wall,
         ),
         "profile": None,
@@ -451,11 +475,218 @@ def cmd_tracesim_bench(args: argparse.Namespace) -> int:
     print(
         f"  sharded runs: {shards['computed']} computed + "
         f"{shards['cache_hits']} cached cells in "
-        f"{shards['wall_seconds']:.2f}s"
+        f"{shards['wall_seconds']:.2f}s "
+        f"(pool of {shards['pool_jobs']})"
     )
     if report["profile"]:
         print(f"  profile: {report['profile']['path']}")
     print(f"wrote {report['output']}")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# model suite (vectorised epoch engine vs scalar reference)
+# --------------------------------------------------------------------------
+
+
+def _canonical_run_result(result) -> Tuple:
+    """A :class:`~repro.model.system.RunResult` as plain comparable data.
+
+    Covers every per-epoch observable (tails, sizes, IPCs,
+    vulnerability, the full energy breakdown) and every post-warmup
+    latency sample, so ``==`` between two canonical forms means the two
+    engines agreed bit-for-bit.
+    """
+    return (
+        result.design,
+        result.load,
+        result.warmup_epochs,
+        tuple(sorted(result.lc_deadlines.items())),
+        tuple(
+            (app, tuple(lats))
+            for app, lats in sorted(result.lc_all_latencies.items())
+        ),
+        tuple(
+            (
+                e.epoch,
+                tuple(sorted(e.lc_tails.items())),
+                tuple(sorted(e.lc_sizes.items())),
+                tuple(sorted(e.batch_ipcs.items())),
+                e.vulnerability,
+                tuple(sorted(vars(e.energy).items())),
+            )
+            for e in result.epochs
+        ),
+    )
+
+
+def run_model_bench(
+    mixes: int = 2,
+    epochs: Optional[int] = None,
+    designs: Optional[List[str]] = None,
+    lc_workload: str = "xapian",
+    load: str = "high",
+    output: Optional[os.PathLike] = None,
+) -> Dict[str, Any]:
+    """Benchmark the vectorised epoch engine on the Fig. 13 loop.
+
+    Every (design, mix) cell runs end-to-end twice — once under the
+    fast engine, once under the frozen scalar reference — with the same
+    seeds and a fresh workload each, and the two ``RunResult`` objects
+    must be bit-identical. Deadlines are prewarmed (they are a shared
+    ``lru_cache`` both engines hit) so the timing covers the epoch loop
+    itself. ``output`` defaults to ``BENCH_model.json``.
+    """
+    from .core.designs import make_design
+    from .experiments.common import (
+        DEFAULT_DESIGNS,
+        num_epochs,
+        run_seed,
+    )
+    from .model.system import (
+        SystemModel,
+        compute_deadline_cycles,
+        deadline_cache_info,
+    )
+    from .model.workload import make_default_workload
+    from .workloads.mixes import base_app
+
+    if mixes < 1:
+        raise ValueError("need at least one batch mix")
+    epochs = epochs if epochs is not None else num_epochs()
+    designs = list(designs) if designs else list(DEFAULT_DESIGNS)
+
+    # Warm the (shared, bounded) deadline cache outside the timing.
+    probe = make_default_workload([lc_workload], mix_seed=0, load=load)
+    for app in probe.lc_apps:
+        compute_deadline_cycles(
+            base_app(app), router_delay=probe.config.router_delay
+        )
+
+    cells: List[Dict[str, Any]] = []
+    for design_name in designs:
+        for mix_seed in range(mixes):
+            seed = run_seed(0, mix_seed)
+
+            def timed(engine: str):
+                workload = make_default_workload(
+                    [lc_workload], mix_seed=mix_seed, load=load
+                )
+                model = SystemModel(
+                    make_design(design_name), workload, seed=seed,
+                    engine=engine,
+                )
+                start = time.perf_counter()
+                result = model.run(epochs)
+                return time.perf_counter() - start, result, model
+
+            fast_wall, fast_result, fast_model = timed("fast")
+            ref_wall, ref_result, _ = timed("reference")
+            cells.append(
+                {
+                    "design": design_name,
+                    "mix_seed": mix_seed,
+                    "fast_seconds": fast_wall,
+                    "reference_seconds": ref_wall,
+                    "speedup": ref_wall / fast_wall,
+                    "identical": _canonical_run_result(fast_result)
+                    == _canonical_run_result(ref_result),
+                    "memo_hits": fast_model.runtime.memo_hits,
+                    "memo_misses": fast_model.runtime.memo_misses,
+                }
+            )
+
+    fast_total = sum(c["fast_seconds"] for c in cells)
+    ref_total = sum(c["reference_seconds"] for c in cells)
+    stats_identical = all(c["identical"] for c in cells)
+    per_design = {
+        name: {
+            "fast_seconds": sum(
+                c["fast_seconds"] for c in cells if c["design"] == name
+            ),
+            "reference_seconds": sum(
+                c["reference_seconds"]
+                for c in cells
+                if c["design"] == name
+            ),
+            "memo_hits": sum(
+                c["memo_hits"] for c in cells if c["design"] == name
+            ),
+        }
+        for name in designs
+    }
+    for entry in per_design.values():
+        entry["speedup"] = (
+            entry["reference_seconds"] / entry["fast_seconds"]
+        )
+    info = deadline_cache_info()
+    report: Dict[str, Any] = {
+        "version": __version__,
+        "suite": "model",
+        "code_fingerprint": code_fingerprint(),
+        "workload": {
+            "designs": designs,
+            "lc_workload": lc_workload,
+            "load": load,
+            "mixes": mixes,
+            "epochs": epochs,
+        },
+        "cells": cells,
+        "per_design": per_design,
+        "fast_seconds": fast_total,
+        "reference_seconds": ref_total,
+        "speedup": ref_total / fast_total,
+        "stats_identical": stats_identical,
+        "memo": {
+            "hits": sum(c["memo_hits"] for c in cells),
+            "misses": sum(c["memo_misses"] for c in cells),
+        },
+        "deadline_cache": {
+            "maxsize": info.maxsize,
+            "currsize": info.currsize,
+            "bounded": info.maxsize is not None,
+        },
+        "ok": stats_identical and info.maxsize is not None,
+    }
+    if output is None:
+        output = "BENCH_model.json"
+    path = pathlib.Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    report["output"] = str(path)
+    return report
+
+
+def cmd_model_bench(args: argparse.Namespace) -> int:
+    """CLI entry point for ``repro bench --suite model``."""
+    output = args.output
+    if output == "BENCH_sweeps.json":
+        output = "BENCH_model.json"
+    report = run_model_bench(
+        mixes=args.mixes if args.mixes is not None else 2,
+        epochs=args.epochs,
+        output=output,
+    )
+    wl = report["workload"]
+    print(
+        f"model: {len(wl['designs'])} designs x {wl['mixes']} mixes "
+        f"x {wl['epochs']} epochs ({wl['lc_workload']}/{wl['load']})"
+    )
+    for name, entry in report["per_design"].items():
+        print(
+            f"  {name:<10s} fast {entry['fast_seconds']:.2f}s vs "
+            f"reference {entry['reference_seconds']:.2f}s "
+            f"({entry['speedup']:.2f}x, "
+            f"{entry['memo_hits']} memo hits)"
+        )
+    print(
+        f"  overall: {report['speedup']:.2f}x, stats identical: "
+        f"{report['stats_identical']}, deadline cache bounded: "
+        f"{report['deadline_cache']['bounded']}"
+    )
+    print(f"wrote {report['output']}")
+    if not report["ok"]:
+        print("MODEL SUITE FAILED: engines diverged or cache unbounded")
+        return 1
     return 0
 
 
@@ -632,11 +863,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach ``repro bench`` options to a subparser."""
     parser.add_argument(
         "--suite",
-        choices=("sweeps", "tracesim", "faults"),
+        choices=("sweeps", "tracesim", "model", "faults"),
         default="sweeps",
         help="what to benchmark: figure sweeps (default), the "
-        "trace-simulator fast path, or the fault-injection chaos "
-        "smoke",
+        "trace-simulator fast path, the vectorised epoch engine, or "
+        "the fault-injection chaos smoke",
     )
     parser.add_argument(
         "--figures",
@@ -697,6 +928,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """CLI entry point for ``repro bench``."""
     if args.suite == "tracesim":
         return cmd_tracesim_bench(args)
+    if args.suite == "model":
+        return cmd_model_bench(args)
     if args.suite == "faults":
         return cmd_faults_bench(args)
     report = run_bench(

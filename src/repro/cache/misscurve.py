@@ -15,11 +15,13 @@ typically MB or ways) to a miss rate. The module also provides:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+import hashlib
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["MissCurve", "combine_curves"]
+__all__ = ["MissCurve", "combine_curves", "chain_argbest"]
 
 
 class MissCurve:
@@ -31,7 +33,7 @@ class MissCurve:
     ``0, step, 2*step, ..., (num_points-1)*step``.
     """
 
-    __slots__ = ("_values", "_step")
+    __slots__ = ("_values", "_step", "_fingerprint")
 
     def __init__(self, values: Sequence[float], step: float = 1.0):
         arr = np.asarray(values, dtype=float)
@@ -46,6 +48,7 @@ class MissCurve:
         arr = np.minimum.accumulate(arr)
         self._values = arr
         self._step = float(step)
+        self._fingerprint: Optional[bytes] = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -65,6 +68,24 @@ class MissCurve:
     def num_points(self) -> int:
         """Number of samples in the curve."""
         return int(self._values.size)
+
+    @property
+    def fingerprint(self) -> bytes:
+        """Content digest of the curve (step + samples), lazily cached.
+
+        Curves are immutable after construction, so the digest is a
+        stable identity usable as a memoisation key — two curves with
+        equal fingerprints interpolate identically everywhere. The
+        placement memo and :func:`combine_curves` cache key on this.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(repr(self._step).encode())
+            digest.update(self._values.tobytes())
+            fp = digest.digest()
+            self._fingerprint = fp
+        return fp
 
     @property
     def max_size(self) -> float:
@@ -204,6 +225,46 @@ class MissCurve:
         return MissCurve(np.interp(grid, sizes[order], misses[order]), step)
 
 
+def chain_argbest(
+    utils: np.ndarray, best_util: float, eps: float = 1e-15
+) -> Tuple[float, int]:
+    """Replay the scalar tie-break chain over ``utils`` exactly.
+
+    The greedy placers pick candidates with the sequential rule
+    ``if util > best_util + eps: accept``. That chain cannot be replaced
+    by a plain argmax (the accepted maximum can trail the true prefix
+    maximum by up to ``eps`` per rejection), but every *accepted*
+    candidate is provably a strict prefix-max record: any value ``v``
+    seen before an accepted ``u`` satisfies ``v <= accepted_max + eps <
+    u``. So we find the strict records vectorised and replay the exact
+    python comparison only over those few indices.
+
+    Returns ``(new_best_util, accepted_index)`` where the index is the
+    last accepted candidate, or -1 if nothing beat ``best_util``.
+    """
+    if utils.size == 0:
+        return best_util, -1
+    running = np.maximum.accumulate(utils)
+    prev = np.empty_like(running)
+    prev[0] = -np.inf
+    prev[1:] = running[:-1]
+    best_idx = -1
+    for i in np.flatnonzero(utils > prev).tolist():
+        util = float(utils[i])
+        if util > best_util + eps:
+            best_util = util
+            best_idx = i
+    return best_util, best_idx
+
+
+#: Content-keyed cache for :func:`combine_curves`. The epoch loop
+#: recombines the same static VM curves every reconfiguration; keying on
+#: curve fingerprints makes that free while staying correct for drifting
+#: (UMON-measured) curves, which produce new fingerprints.
+_COMBINE_CACHE: "OrderedDict[Tuple[bytes, ...], MissCurve]" = OrderedDict()
+_COMBINE_CACHE_MAX = 256
+
+
 def combine_curves(curves: Iterable[MissCurve]) -> MissCurve:
     """Combined miss curve of applications sharing one allocation.
 
@@ -227,6 +288,11 @@ def combine_curves(curves: Iterable[MissCurve]) -> MissCurve:
     step = curve_list[0].step
     if any(c.step != step for c in curve_list):
         raise ValueError("all curves must share the same step")
+    key = tuple(c.fingerprint for c in curve_list)
+    cached = _COMBINE_CACHE.get(key)
+    if cached is not None:
+        _COMBINE_CACHE.move_to_end(key)
+        return cached
     num_points = max(c.num_points for c in curve_list)
 
     # Lookahead allocation: repeatedly grant the multi-step extension with
@@ -238,8 +304,13 @@ def combine_curves(curves: Iterable[MissCurve]) -> MissCurve:
     # filled by advancing the chosen app's allocation stepwise.
     n_apps = len(curve_list)
     allocs = [0.0] * n_apps
+    # Per-app miss rate at the current allocation: only the granted
+    # app's entry changes per step, so the O(apps) recomputation of the
+    # scalar code collapses to one interpolation plus a list sum (same
+    # values summed in the same order — bit-identical).
+    current = [c.misses_at(0.0) for c in curve_list]
     combined = np.empty(num_points, dtype=float)
-    combined[0] = sum(c.misses_at(0.0) for c in curve_list)
+    combined[0] = sum(current)
     granted = 0
     while granted < num_points - 1:
         remaining = num_points - 1 - granted
@@ -248,25 +319,27 @@ def combine_curves(curves: Iterable[MissCurve]) -> MissCurve:
         best_k = 1
         deltas = np.arange(1, remaining + 1, dtype=float) * step
         for i, curve in enumerate(curve_list):
-            base = curve.misses_at(allocs[i])
-            # Vectorised horizon scan; the python loop below only does
-            # the sequential tie-break (identical to the scalar code).
+            # Vectorised horizon scan; chain_argbest replays the exact
+            # sequential tie-break of the scalar code.
             utils = (
-                base - curve.misses_at_many(allocs[i] + deltas)
+                current[i] - curve.misses_at_many(allocs[i] + deltas)
             ) / deltas
-            for k, util in enumerate(utils.tolist(), start=1):
-                if util > best_util + 1e-15:
-                    best_util = util
-                    best_app = i
-                    best_k = k
+            best_util, idx = chain_argbest(utils, best_util)
+            if idx >= 0:
+                best_app = i
+                best_k = idx + 1
         if best_app < 0 or best_util <= 0:
             # Nobody benefits further: the curve is flat from here on.
             combined[granted + 1 :] = combined[granted]
             break
+        curve = curve_list[best_app]
         for _ in range(best_k):
             allocs[best_app] += step
+            current[best_app] = curve.misses_at(allocs[best_app])
             granted += 1
-            combined[granted] = sum(
-                c.misses_at(a) for c, a in zip(curve_list, allocs)
-            )
-    return MissCurve(combined, step)
+            combined[granted] = sum(current)
+    result = MissCurve(combined, step)
+    _COMBINE_CACHE[key] = result
+    while len(_COMBINE_CACHE) > _COMBINE_CACHE_MAX:
+        _COMBINE_CACHE.popitem(last=False)
+    return result

@@ -52,8 +52,17 @@ class PlacementContext:
     vms: Sequence[VmSpec]
     apps: Dict[str, AppInfo]
     lat_sizes: Dict[str, float] = field(default_factory=dict)
+    #: Which placement implementation the entry-point placers use:
+    #: ``"fast"`` (the vectorised kernels) or ``"reference"`` (the
+    #: frozen scalar copies in :mod:`repro.model.reference`). The two
+    #: are differentially tested to be bit-identical.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f"unknown placement engine {self.engine!r}"
+            )
         declared = {a for vm in self.vms for a in vm.apps}
         missing = declared - set(self.apps)
         if missing:
@@ -102,3 +111,33 @@ class PlacementContext:
     def vm_centroid(self, vm: VmSpec) -> int:
         """Representative tile for a VM (hop-minimising centroid)."""
         return self.noc.centroid_tile(list(vm.cores))
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of every placement-relevant input.
+
+        Two contexts with equal fingerprints make any (deterministic)
+        placer produce the same allocation: the tuple covers the LC size
+        targets, the VM layout, and each app's tile/role/intensity plus
+        the *content* digest of its miss curve — so drifting
+        UMON-measured curves (new fingerprints) never alias a stale
+        memoised placement. Used as the placement-memo key by
+        :class:`repro.core.runtime.JumanjiRuntime`.
+        """
+        return (
+            tuple(sorted(self.lat_sizes.items())),
+            tuple(
+                (vm.vm_id, tuple(vm.cores), tuple(vm.apps))
+                for vm in self.vms
+            ),
+            tuple(
+                (
+                    name,
+                    info.tile,
+                    info.vm_id,
+                    info.is_lc,
+                    info.intensity,
+                    info.curve.fingerprint,
+                )
+                for name, info in sorted(self.apps.items())
+            ),
+        )

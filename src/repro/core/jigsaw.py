@@ -46,7 +46,22 @@ def place_sizes_near_tiles(
     remaining allocation in the nearest allowed bank with free space.
     Capacity already committed in ``allocation`` (e.g. LC reservations)
     is respected.
+
+    Fast path: bank preference orders come from the NoC's cached
+    hop-matrix argsort, and each app keeps a monotone scan cursor into
+    its order — bank free space only ever decreases during placement,
+    so banks found exhausted are never rescanned (amortised O(banks)
+    per app instead of O(banks * rounds)). Free space is still read
+    through ``allocation.bank_free`` so the granted amounts are
+    bit-identical to the scalar reference, which rescans from the
+    front every round.
     """
+    if ctx.engine == "reference":
+        from ..model.reference import reference_place_sizes_near_tiles
+
+        return reference_place_sizes_near_tiles(
+            sizes, tiles, ctx, allocation, allowed_banks=allowed_banks
+        )
     chunk = ctx.config.llc_bank_mb * _CHUNK_FRACTION
     remaining: Dict[str, float] = {
         a: s for a, s in sizes.items() if s > 0
@@ -78,21 +93,28 @@ def place_sizes_near_tiles(
             f"{capacity:.3f} MB of free space"
         )
 
+    cursor: Dict[str, int] = {a: 0 for a in remaining}
     while remaining:
         placed_any = False
         for app in sorted(
             remaining, key=lambda a: (-remaining[a], a)
         ):
             want = min(chunk, remaining[app])
-            for bank in preferred[app]:
-                free = allocation.bank_free(bank)
+            banks = preferred[app]
+            i = cursor[app]
+            while i < len(banks):
+                free = allocation.bank_free(banks[i])
                 if free <= 1e-12:
+                    # Permanently full for the rest of this placement:
+                    # advance the cursor past it.
+                    i += 1
                     continue
                 grab = min(free, want)
-                allocation.add(bank, app, grab)
+                allocation.add(banks[i], app, grab)
                 remaining[app] -= grab
                 placed_any = True
                 break
+            cursor[app] = i
             if remaining[app] <= 1e-9:
                 del remaining[app]
         if not placed_any and remaining:
@@ -118,6 +140,17 @@ def jigsaw_place(
     batch capacity. Capacity division uses Lookahead over the apps' miss
     curves; placement is proximity-greedy.
     """
+    if ctx.engine == "reference":
+        from ..model.reference import reference_jigsaw_place
+
+        return reference_jigsaw_place(
+            ctx,
+            apps=apps,
+            allowed_banks=allowed_banks,
+            allocation=allocation,
+            capacity_mb=capacity_mb,
+            step_mb=step_mb,
+        )
     app_names = list(apps) if apps is not None else sorted(ctx.apps)
     if not app_names:
         return allocation if allocation is not None else Allocation(

@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
+import numpy as np
+
 from ..cache.misscurve import MissCurve, combine_curves
 from .allocation import Allocation
 from .context import PlacementContext
@@ -31,8 +33,14 @@ def vm_batch_curves(ctx: PlacementContext) -> Dict[int, MissCurve]:
     """Combined batch miss curve per VM (Whirlpool-style combination).
 
     VMs with no batch apps get a flat zero curve so the bank-granular
-    lookahead still covers them.
+    lookahead still covers them. The combination itself is content-memoised
+    in :func:`~repro.cache.misscurve.combine_curves`, so static workloads
+    recombine for free every epoch.
     """
+    if ctx.engine == "reference":
+        from ..model.reference import reference_vm_batch_curves
+
+        return reference_vm_batch_curves(ctx)
     curves: Dict[int, MissCurve] = {}
     sample = next(iter(ctx.apps.values())).curve
     for vm in ctx.vms:
@@ -59,7 +67,17 @@ def assign_banks_to_vms(
     remaining bank"). Raises if LC placements already violate isolation
     (LatCritPlacer places LC apps far apart, so in practice they do not
     collide until the LLC is badly over-subscribed).
+
+    Fast path: VM centroids are hoisted out of the pick loop (they
+    depend only on the immutable VM layout) and each "closest free
+    bank" pick is an argmin over a precomputed ``hops * num_banks +
+    bank`` key row from the NoC hop matrix — the integer key encodes
+    the scalar reference's ``(hops, bank)`` tie-break exactly.
     """
+    if ctx.engine == "reference":
+        from ..model.reference import reference_assign_banks_to_vms
+
+        return reference_assign_banks_to_vms(ctx, alloc, banks_needed)
     owner: Dict[int, int] = {}
     for bank in range(ctx.config.num_banks):
         apps_here = alloc.apps_in_bank(bank)
@@ -78,29 +96,40 @@ def assign_banks_to_vms(
     for bank, vm_id in owner.items():
         banks_of[vm_id].append(bank)
 
-    free = [b for b in range(ctx.config.num_banks) if b not in owner]
+    num_banks = ctx.config.num_banks
+    free_mask = np.ones(num_banks, dtype=bool)
+    free_mask[list(owner)] = False
+    free_count = int(free_mask.sum())
     order = sorted(banks_of, key=lambda v: v)
+    # (hops, bank-id) tie-break folded into one integer key per VM.
+    hops = ctx.noc.hop_matrix
+    bank_ids = np.arange(num_banks, dtype=np.int64)
+    pick_keys = {
+        vm_id: hops[ctx.vm_centroid(ctx.vm_by_id(vm_id)), :num_banks]
+        * num_banks
+        + bank_ids
+        for vm_id in order
+    }
     # Round-robin over VMs that still need banks.
-    while free:
+    while free_count:
         progressed = False
         for vm_id in order:
             if len(banks_of[vm_id]) >= banks_needed.get(vm_id, 0):
                 continue
-            if not free:
+            if not free_count:
                 break
-            centroid = ctx.vm_centroid(ctx.vm_by_id(vm_id))
-            pick = min(
-                free, key=lambda b: (ctx.noc.hops(centroid, b), b)
-            )
-            free.remove(pick)
+            keys = pick_keys[vm_id]
+            pick = int(np.argmin(np.where(free_mask, keys, np.iinfo(np.int64).max)))
+            free_mask[pick] = False
+            free_count -= 1
             banks_of[vm_id].append(pick)
             progressed = True
         if not progressed:
             # Everyone is satisfied; hand leftovers round-robin so every
             # bank has exactly one owner.
-            for i, bank in enumerate(sorted(free)):
-                banks_of[order[i % len(order)]].append(bank)
-            free = []
+            for i, bank in enumerate(np.flatnonzero(free_mask).tolist()):
+                banks_of[order[i % len(order)]].append(int(bank))
+            free_count = 0
     return banks_of
 
 
@@ -116,6 +145,12 @@ def jumanji_placer(
     placement are kept, but batch capacity is divided per *app* over all
     remaining banks, so VMs may share banks.
     """
+    if ctx.engine == "reference":
+        from ..model.reference import reference_jumanji_placer
+
+        return reference_jumanji_placer(
+            ctx, step_mb=step_mb, enforce_isolation=enforce_isolation
+        )
     # (1) Reserve and place latency-critical allocations.
     alloc = lat_crit_placer(ctx, isolate_vms=enforce_isolation)
 

@@ -39,6 +39,15 @@ def lat_crit_placer(
     runs afterwards (Jigsaw within VM banks for Jumanji, or other
     strategies for the baseline designs).
     """
+    if ctx.engine == "reference":
+        from ..model.reference import reference_lat_crit_placer
+
+        return reference_lat_crit_placer(
+            ctx,
+            allocation=allocation,
+            bank_affinity=bank_affinity,
+            isolate_vms=isolate_vms,
+        )
     alloc = allocation if allocation is not None else Allocation(
         ctx.config, partition_mode="per-app"
     )

@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..cache.misscurve import MissCurve
+from ..cache.misscurve import MissCurve, chain_argbest
 
 __all__ = ["lookahead", "jumanji_lookahead"]
 
@@ -45,10 +45,9 @@ def _best_step(
     base = curve.misses_at(current)
     deltas = np.arange(1, max_steps + 1, dtype=float) * step
     utils = (base - curve.misses_at_many(current + deltas)) / deltas
-    for k, util in enumerate(utils.tolist()):
-        if util > best_util + 1e-15:
-            best_util = util
-            best_delta = float(deltas[k])
+    best_util, idx = chain_argbest(utils, best_util)
+    if idx >= 0:
+        best_delta = float(deltas[idx])
     return best_util, best_delta
 
 
@@ -179,11 +178,10 @@ def jumanji_lookahead(
             curve = vm_curves[vm]
             base = curve.misses_at(cur)
             utils = (base - curve.misses_at_many(cur + deltas)) / deltas
-            for k, util in enumerate(utils.tolist(), start=1):
-                if util > best_util + 1e-15:
-                    best_util = util
-                    best_vm = vm
-                    best_banks = k
+            best_util, idx = chain_argbest(utils, best_util)
+            if idx >= 0:
+                best_vm = vm
+                best_banks = idx + 1
         if best_vm is None or best_util <= 0:
             # Nobody benefits: distribute leftovers round-robin so every
             # bank has an owner (required for bank isolation).

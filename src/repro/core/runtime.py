@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import logging
 import random
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -73,6 +73,11 @@ class ReconfigRecord:
     #: True when this epoch fell back to the previous allocation
     #: because the placer failed (degraded mode).
     degraded: bool = False
+    #: True when the placement was served from the memo (identical
+    #: context fingerprint — LC sizes, app->tile map, curve contents —
+    #: to an earlier epoch) instead of re-running the placer. Tests
+    #: assert this never happens across a real size change.
+    memo_hit: bool = False
 
 
 class JumanjiRuntime:
@@ -92,10 +97,25 @@ class JumanjiRuntime:
         controller_config: Optional[ControllerConfig] = None,
         initial_lc_size_mb: float = 2.5,
         seed: int = 0,
+        memoize_placement: bool = False,
+        memo_size: int = 32,
     ):
         self.design = design
         self.system = system
         self._build_context = context_builder
+        #: Epoch-level placement memoisation (off by default so direct
+        #: runtime users — e.g. fault-injection drills whose placers
+        #: fail on purpose — keep exact per-epoch placer behaviour; the
+        #: system model's fast engine turns it on). Keyed on the
+        #: context fingerprint, which covers the controller's LC sizes,
+        #: the app->tile map, and every miss curve's content digest, so
+        #: a hit is provably the same placement problem.
+        self._memoize = memoize_placement
+        self._memo_size = memo_size
+        self._memo: "OrderedDict[tuple, Allocation]" = OrderedDict()
+        #: Memo statistics for benchmarks/tests.
+        self.memo_hits = 0
+        self.memo_misses = 0
         # Every random decision the runtime (or a design hook) makes must
         # draw from this stream, never the global ``random`` module, so
         # two runtimes with the same seed replay identically regardless
@@ -149,6 +169,17 @@ class JumanjiRuntime:
                 detail=str(exc),
             )
 
+    def report_latencies(
+        self, app: str, latencies_cycles: "List[float]"
+    ) -> None:
+        """Batched :meth:`report_latency` for one epoch's completions.
+
+        Equivalent to reporting each sample in order — per-sample
+        sanitization (and its structured drop events) is preserved.
+        """
+        for latency in latencies_cycles:
+            self.report_latency(app, latency)
+
     def report_tail(self, app: str, tail_cycles: float) -> None:
         """Epoch-granular tail report (used by the system model).
 
@@ -183,11 +214,32 @@ class JumanjiRuntime:
         """
         self.controller.epoch_boundary()
         degraded = False
+        memo_hit = False
         try:
             lat_sizes = self.lat_sizes()
             ctx = self._build_context(lat_sizes)
-            allocation = self.design.allocate(ctx)
-            allocation.validate()
+            memo_key = ctx.fingerprint() if self._memoize else None
+            cached = (
+                self._memo.get(memo_key)
+                if memo_key is not None
+                else None
+            )
+            if cached is not None:
+                # Same sizes, same tiles, same curves: the placer is
+                # deterministic, so the cached (already validated)
+                # allocation is exactly what it would produce.
+                self._memo.move_to_end(memo_key)
+                allocation = cached
+                memo_hit = True
+                self.memo_hits += 1
+            else:
+                allocation = self.design.allocate(ctx)
+                allocation.validate()
+                if memo_key is not None:
+                    self.memo_misses += 1
+                    self._memo[memo_key] = allocation
+                    while len(self._memo) > self._memo_size:
+                        self._memo.popitem(last=False)
         except Exception as exc:
             if self.last_record is None:
                 # No validated state to hold: surface the failure.
@@ -205,20 +257,32 @@ class JumanjiRuntime:
             allocation = self.last_record.allocation
             lat_sizes = dict(self.last_record.lat_sizes)
             degraded = True
+            memo_hit = False
         invalidated = 0
-        for vc_id, app in enumerate(sorted(allocation.apps())):
-            descriptor = allocation.descriptor_for(app)
-            dirty = self.vtb.update(vc_id, descriptor)
-            # Without a live trace simulation attached we approximate the
-            # walk cost as one descriptor-entry's worth of lines per
-            # dirty bank; a trace-sim integration can override this.
-            invalidated += len(dirty)
+        if (
+            memo_hit
+            and self.last_record is not None
+            and allocation is self.last_record.allocation
+        ):
+            # The installed descriptors already realise this exact
+            # allocation object, so every vtb.update would return an
+            # empty dirty set; skip the walk outright.
+            pass
+        else:
+            for vc_id, app in enumerate(sorted(allocation.apps())):
+                descriptor = allocation.descriptor_for(app)
+                dirty = self.vtb.update(vc_id, descriptor)
+                # Without a live trace simulation attached we approximate the
+                # walk cost as one descriptor-entry's worth of lines per
+                # dirty bank; a trace-sim integration can override this.
+                invalidated += len(dirty)
         record = ReconfigRecord(
             epoch=self.epoch,
             lat_sizes=dict(lat_sizes),
             allocation=allocation,
             invalidated_lines=invalidated,
             degraded=degraded,
+            memo_hit=memo_hit,
         )
         self.history.append(record)
         self.last_record = record

@@ -57,6 +57,13 @@ class WorkloadSpec:
             for vm in self.vms
             for a in vm.batch_apps
         }
+        # Per-app (curve, intensity) cache for the fast engine: the
+        # analytic profiles and the load level are fixed for the
+        # spec's lifetime, so the 176-point curves need building only
+        # once instead of every epoch. The reference engine bypasses
+        # this (build_context(engine="reference")) to keep the scalar
+        # baseline's per-epoch rebuild cost.
+        self._curve_cache: Dict[str, Tuple[MissCurve, float]] = {}
 
     # -- lookups -------------------------------------------------------------------
 
@@ -147,17 +154,41 @@ class WorkloadSpec:
         intensity = profile.accesses_per_query * per_kcycle
         return MissCurve(values, CURVE_STEP_MB), intensity
 
+    def _curve_of(
+        self, app: str, is_lc: bool, use_cache: bool
+    ) -> Tuple[MissCurve, float]:
+        if use_cache:
+            hit = self._curve_cache.get(app)
+            if hit is None:
+                hit = (
+                    self._lc_curve(app)
+                    if is_lc
+                    else self._batch_curve(app)
+                )
+                self._curve_cache[app] = hit
+            return hit
+        return self._lc_curve(app) if is_lc else self._batch_curve(app)
+
     def build_context(
         self,
         lat_sizes: Mapping[str, float],
         noc: Optional[MeshNoc] = None,
+        engine: str = "fast",
     ) -> PlacementContext:
-        """Build the placement context for one reconfiguration."""
+        """Build the placement context for one reconfiguration.
+
+        ``engine`` selects the placement implementation the context's
+        consumers will use (``"fast"`` or ``"reference"``, see
+        :mod:`repro.model.reference`); the reference path also rebuilds
+        the miss curves from the profiles instead of using the per-spec
+        cache.
+        """
         noc = noc if noc is not None else MeshNoc(self.config)
+        use_cache = engine == "fast"
         apps: Dict[str, AppInfo] = {}
         for vm in self.vms:
             for app in vm.lc_apps:
-                curve, intensity = self._lc_curve(app)
+                curve, intensity = self._curve_of(app, True, use_cache)
                 apps[app] = AppInfo(
                     name=app,
                     tile=self.tile_of(app),
@@ -167,7 +198,7 @@ class WorkloadSpec:
                     intensity=intensity,
                 )
             for app in vm.batch_apps:
-                curve, intensity = self._batch_curve(app)
+                curve, intensity = self._curve_of(app, False, use_cache)
                 apps[app] = AppInfo(
                     name=app,
                     tile=self.tile_of(app),
@@ -182,6 +213,7 @@ class WorkloadSpec:
             vms=list(self.vms),
             apps=apps,
             lat_sizes=dict(lat_sizes),
+            engine=engine,
         )
 
 

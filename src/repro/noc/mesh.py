@@ -9,7 +9,9 @@ D-NUCA minimises by placing data nearby.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from ..config import SystemConfig
 
@@ -31,12 +33,23 @@ class MeshNoc:
         self.router_delay = config.router_delay
         self.link_delay = config.link_delay
         self._mem_tiles = self._corner_tiles()
-        # Precompute tile-to-tile latency for speed in the inner loops.
+        # Precompute tile-to-tile hop counts as a dense matrix: the
+        # placement kernels consume whole rows at a time (argmin over a
+        # candidate mask, distance-ordering of banks), so this is the
+        # single structure everything else derives from.
         n = config.num_cores
+        cols_arr = np.arange(n, dtype=np.int64) % self.cols
+        rows_arr = np.arange(n, dtype=np.int64) // self.cols
+        self._hops = (
+            np.abs(cols_arr[:, None] - cols_arr[None, :])
+            + np.abs(rows_arr[:, None] - rows_arr[None, :])
+        )
+        # Precompute tile-to-tile latency for speed in the inner loops.
         self._latency = [
             [self._compute_latency(a, b) for b in range(n)]
             for a in range(n)
         ]
+        self._banks_by_distance: Dict[int, List[int]] = {}
 
     def _corner_tiles(self) -> Tuple[int, ...]:
         """Tiles hosting the memory controllers (the four chip corners)."""
@@ -60,9 +73,18 @@ class MeshNoc:
 
     def hops(self, src: int, dst: int) -> int:
         """Manhattan hop count between two tiles (X-Y routing)."""
-        (sc, sr) = self.coords(src)
-        (dc, dr) = self.coords(dst)
-        return abs(sc - dc) + abs(sr - dr)
+        return int(self._hops[src, dst])
+
+    @property
+    def hop_matrix(self) -> np.ndarray:
+        """Dense tile-to-tile hop-count matrix (read-only view).
+
+        The vectorised placement kernels index whole rows of this matrix
+        instead of calling :meth:`hops` per pair.
+        """
+        view = self._hops.view()
+        view.flags.writeable = False
+        return view
 
     def _compute_latency(self, src: int, dst: int) -> int:
         """One-way latency in cycles between two tiles.
@@ -97,10 +119,20 @@ class MeshNoc:
         """All banks sorted by distance from ``tile`` (ties by bank id).
 
         This ordering drives LatCritPlacer's greedy "closest banks first"
-        allocation and JumanjiPlacer's round-robin bank assignment.
+        allocation and JumanjiPlacer's round-robin bank assignment. The
+        ordering is computed once per tile and cached (topology is
+        immutable); callers get a fresh list they may mutate.
         """
-        n = self.config.num_banks
-        return sorted(range(n), key=lambda b: (self.hops(tile, b), b))
+        cached = self._banks_by_distance.get(tile)
+        if cached is None:
+            n = self.config.num_banks
+            row = self._hops[tile, :n]
+            # lexsort's last key is primary: hops first, bank id to break
+            # ties — identical to sorted(..., key=(hops, bank)).
+            order = np.lexsort((np.arange(n), row))
+            cached = [int(b) for b in order]
+            self._banks_by_distance[tile] = cached
+        return list(cached)
 
     def centroid_tile(self, tiles: Sequence[int]) -> int:
         """Tile minimising total hops to a set of tiles.
@@ -111,9 +143,10 @@ class MeshNoc:
         if not tiles:
             raise ValueError("need at least one tile")
         n = self.config.num_banks
-        return min(
-            range(n), key=lambda c: (sum(self.hops(c, t) for t in tiles), c)
-        )
+        totals = self._hops[:n, list(tiles)].sum(axis=1)
+        # argmin returns the first (lowest-id) minimiser, matching the
+        # (total, tile) tie-break of the scalar min().
+        return int(np.argmin(totals))
 
     def average_distance(self, tile: int, banks: Sequence[int]) -> float:
         """Mean hop distance from a tile to a set of banks."""

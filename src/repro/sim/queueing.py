@@ -11,31 +11,115 @@ exceeds the service rate at a small allocation, queueing delay grows
 without bound and tail latency explodes; slightly more (or closer) cache
 restores stability. End-to-end latency includes queueing delay, which
 the feedback controller observes.
+
+Fast path (this module) and frozen reference
+--------------------------------------------
+
+``run_epoch`` batch-draws its variates from buffered ``numpy.Generator``
+streams and resolves the FCFS recurrence with a vectorised
+cumulative-max scan (the Lindley recurrence in "u-transform" form::
+
+    S_i = S_{i-1} + s_i                     # cumulative service
+    u_i = max(u_{i-1}, a_i - S_{i-1})       # u_0 seeds from server_free_at
+    start_i      = u_i + S_{i-1}
+    completion_i = u_i + S_i
+
+which is a ``cumsum`` + ``maximum.accumulate`` instead of a per-request
+Python loop). The scalar implementation is frozen as
+:class:`repro.model.reference.ReferenceLcRequestSimulator`, which
+consumes the *same* variate streams one value at a time and computes the
+same recurrence scalar-wise — the two are differentially tested to be
+bit-identical.
+
+RNG stream change (vs. the pre-vectorisation revision): interarrival
+variates now come from ``numpy.random.default_rng(seed)`` (unit
+exponentials, scaled at consumption) instead of ``random.Random(seed)``,
+and service variates are buffered ``standard_gamma`` draws scaled by
+``mean * cv**2``. Completion times follow the u-transform arithmetic
+above. Both changes alter the sampled request streams, so the golden
+fig12/fig13 regression pins were regenerated in the same change that
+introduced this engine.
 """
 
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import CORE_FREQ_HZ
+from ..errors import ConfigError
 
-__all__ = ["QueueSimResult", "LcRequestSimulator", "percentile"]
+__all__ = [
+    "QueueSimResult",
+    "LcRequestSimulator",
+    "percentile",
+    "VariateStream",
+]
 
 
 def percentile(latencies: Sequence[float], pct: float) -> float:
-    """Percentile with the nearest-rank method the OS runtime uses."""
+    """Percentile with the nearest-rank method the OS runtime uses.
+
+    Raises :class:`~repro.errors.ConfigError` (a ``ValueError``) on an
+    empty sample set or a percentile outside ``(0, 100]`` — callers that
+    can see empty epochs (e.g. overload with zero completions) must
+    handle it explicitly rather than receive a silent garbage tail.
+    """
     if not len(latencies):
-        raise ValueError("no latencies recorded")
+        raise ConfigError("no latencies recorded")
     if not 0 < pct <= 100:
-        raise ValueError("percentile must be in (0, 100]")
+        raise ConfigError("percentile must be in (0, 100]")
     data = np.sort(np.asarray(latencies, dtype=float))
     rank = max(0, int(math.ceil(pct / 100.0 * data.size)) - 1)
     return float(data[rank])
+
+
+class VariateStream:
+    """Buffered stream of variates from a ``numpy.Generator``.
+
+    ``draw(n)`` must return ``n`` fresh variates. For the distributions
+    used here (``exponential``, ``standard_gamma``) numpy produces a
+    bitwise-identical sequence whether values are drawn one at a time or
+    in batches, so the vectorised fast path (slicing many at once via
+    :meth:`peek`/:meth:`advance`) and the scalar reference (calling
+    :meth:`next`) consume exactly the same stream.
+    """
+
+    __slots__ = ("_draw", "_buf", "_pos", "_chunk")
+
+    def __init__(self, draw: Callable[[int], np.ndarray], chunk: int = 256):
+        self._draw = draw
+        self._buf = np.empty(0, dtype=float)
+        self._pos = 0
+        self._chunk = chunk
+
+    def peek(self, n: int) -> np.ndarray:
+        """The next ``n`` variates, without consuming them."""
+        avail = self._buf.size - self._pos
+        if avail < n:
+            grown = self._draw(max(n - avail, self._chunk))
+            self._buf = np.concatenate([self._buf[self._pos:], grown])
+            self._pos = 0
+        return self._buf[self._pos : self._pos + n]
+
+    def advance(self, n: int) -> None:
+        """Consume ``n`` previously peeked variates."""
+        if n > self._buf.size - self._pos:
+            raise ValueError("cannot advance past peeked variates")
+        self._pos += n
+
+    def take(self, n: int) -> np.ndarray:
+        """Draw and consume ``n`` variates."""
+        out = self.peek(n)
+        self._pos += n
+        return out
+
+    def next(self) -> float:
+        """Draw and consume a single variate (the reference path)."""
+        return float(self.take(1)[0])
 
 
 @dataclass
@@ -88,36 +172,73 @@ class LcRequestSimulator:
             raise ValueError("service_cv must be non-negative")
         self.qps = qps
         self.service_cv = service_cv
-        self._rng = random.Random(seed)
-        self._np_rng = np.random.default_rng(seed ^ 0xBADC0FFE)
+        self.seed = seed
         self.max_backlog = max_backlog
+        self._init_streams(seed)
         # Server state, in cycles.
         self._server_free_at = 0.0
-        self._next_arrival = self._draw_interarrival()
+        self._next_arrival = self._arrivals.next() * (
+            CORE_FREQ_HZ / self.qps
+        )
         self._now = 0.0
         # Requests that have arrived but not completed: arrival times.
         self._backlog: List[float] = []
+
+    def _init_streams(self, seed: int) -> None:
+        """(Re)build the interarrival and service variate streams."""
+        arrival_rng = np.random.default_rng(seed)
+        self._arrivals = VariateStream(
+            lambda n: arrival_rng.exponential(size=n)
+        )
+        if self.service_cv > 0:
+            shape = 1.0 / self.service_cv**2
+            service_rng = np.random.default_rng(seed ^ 0xBADC0FFE)
+            self._services: Optional[VariateStream] = VariateStream(
+                lambda n: service_rng.standard_gamma(shape, size=n)
+            )
+        else:
+            self._services = None
 
     @property
     def interarrival_mean_cycles(self) -> float:
         """Mean request interarrival time in cycles."""
         return CORE_FREQ_HZ / self.qps
 
-    def _draw_interarrival(self) -> float:
-        return self._rng.expovariate(1.0) * CORE_FREQ_HZ / self.qps
-
-    def _draw_service(self, mean_cycles: float) -> float:
-        if self.service_cv == 0:
-            return mean_cycles
-        cv2 = self.service_cv**2
-        shape = 1.0 / cv2
-        scale = mean_cycles * cv2
-        return float(self._np_rng.gamma(shape, scale))
-
     @property
     def queue_depth(self) -> int:
         """Requests currently waiting or in service."""
         return len(self._backlog)
+
+    def _generate_arrivals(self, epoch_end: float) -> List[float]:
+        """All arrival times in ``(previous epochs, epoch_end]``.
+
+        Arrival ``j`` past the pending one is ``base + cumsum(v)[j]``
+        where ``v`` are unit exponentials scaled by the *current* epoch's
+        interarrival mean — one sequential left-to-right summation, so
+        the scalar reference reproduces it with a running-sum loop. The
+        first candidate beyond the epoch becomes the pending
+        ``_next_arrival`` (its variate is consumed, as in the scalar
+        loop that always draws one interarrival past the boundary).
+        """
+        base = self._next_arrival
+        if base > epoch_end:
+            return []
+        scale = CORE_FREQ_HZ / self.qps
+        # Expected count plus slack; grow geometrically if the draw runs
+        # short (the cumsum is recomputed over the full peeked prefix, so
+        # the arithmetic never depends on chunk boundaries).
+        want = int((epoch_end - base) / scale * 1.2) + 16
+        while True:
+            offsets = np.cumsum(self._arrivals.peek(want) * scale)
+            if base + offsets[-1] > epoch_end:
+                break
+            want *= 2
+        candidates = base + offsets
+        m = int(np.searchsorted(candidates, epoch_end, side="right"))
+        arrivals = [base] + candidates[:m].tolist()
+        self._arrivals.advance(m + 1)
+        self._next_arrival = float(candidates[m])
+        return arrivals
 
     def run_epoch(
         self,
@@ -143,36 +264,60 @@ class LcRequestSimulator:
                 raise ValueError("qps must be positive")
             self.qps = qps
         epoch_end = self._now + duration_cycles
+
+        # Generate arrivals up to epoch end; the backlog cap drops the
+        # latest arrivals (their variates are still consumed).
+        arrivals = self._generate_arrivals(epoch_end)
+        room = self.max_backlog - len(self._backlog)
+        if room > 0:
+            self._backlog.extend(arrivals[:room])
+
         latencies: List[float] = []
-
-        # Generate arrivals up to epoch end.
-        while self._next_arrival <= epoch_end:
-            if len(self._backlog) < self.max_backlog:
-                self._backlog.append(self._next_arrival)
-            self._next_arrival += self._draw_interarrival()
-
-        # Serve FCFS. Completions beyond the epoch boundary stay queued
-        # (service is not preempted mid-epoch; the sub-request error this
-        # introduces is far below the 100 ms epoch length).
-        remaining: List[float] = []
-        for arrival in self._backlog:
-            start = max(arrival, self._server_free_at)
-            if start >= epoch_end:
-                remaining.append(arrival)
-                continue
-            service = self._draw_service(mean_service_cycles)
-            completion = start + service
-            if completion > epoch_end:
-                remaining.append(arrival)
-                # Server stays busy with this request into the next epoch.
-                self._server_free_at = completion
-                continue
-            self._server_free_at = completion
-            latency = completion - arrival
-            latencies.append(latency)
-            if on_complete is not None:
-                on_complete(latency)
-        self._backlog = remaining
+        n = len(self._backlog)
+        if n:
+            a = np.asarray(self._backlog, dtype=float)
+            # Service times for every queued request are *peeked*; only
+            # the ones actually started this epoch are consumed, so the
+            # stream position matches the scalar reference exactly.
+            if self._services is not None:
+                scale = mean_service_cycles * self.service_cv**2
+                s = self._services.peek(n) * scale
+            else:
+                s = np.full(n, mean_service_cycles)
+            cum = np.cumsum(s)
+            cum_prev = np.empty(n)
+            cum_prev[0] = 0.0
+            cum_prev[1:] = cum[:-1]
+            # u-transform of the Lindley recurrence (module docstring):
+            # both u and the cumulative service are non-decreasing, so
+            # starts and completions are sorted and the epoch cut-offs
+            # are binary searches.
+            u = np.maximum(
+                np.maximum.accumulate(a - cum_prev), self._server_free_at
+            )
+            starts = u + cum_prev
+            completions = u + cum
+            # Requests started before the boundary consume a variate
+            # and occupy the server; at most the last one completes
+            # beyond the boundary (service is not preempted mid-epoch;
+            # the sub-request error this introduces is far below the
+            # 100 ms epoch length) and is retried next epoch.
+            n_started = int(np.searchsorted(starts, epoch_end, side="left"))
+            n_done = int(
+                np.searchsorted(
+                    completions[:n_started], epoch_end, side="right"
+                )
+            )
+            if self._services is not None:
+                self._services.advance(n_started)
+            if n_started:
+                self._server_free_at = float(completions[n_started - 1])
+            if n_done:
+                latencies = (completions[:n_done] - a[:n_done]).tolist()
+                if on_complete is not None:
+                    for latency in latencies:
+                        on_complete(latency)
+                self._backlog = self._backlog[n_done:]
         self._now = epoch_end
 
         utilization = (
@@ -187,11 +332,18 @@ class LcRequestSimulator:
         )
 
     def reset(self, seed: Optional[int] = None) -> None:
-        """Restart the stream (optionally reseeded)."""
+        """Restart the stream (optionally reseeded).
+
+        Without a seed the variate streams continue from their current
+        position (matching the historical behaviour); with one they are
+        rebuilt from scratch.
+        """
         if seed is not None:
-            self._rng = random.Random(seed)
-            self._np_rng = np.random.default_rng(seed ^ 0xBADC0FFE)
+            self.seed = seed
+            self._init_streams(seed)
         self._server_free_at = 0.0
         self._now = 0.0
         self._backlog = []
-        self._next_arrival = self._draw_interarrival()
+        self._next_arrival = self._arrivals.next() * (
+            CORE_FREQ_HZ / self.qps
+        )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import CORE_FREQ_HZ, RECONFIG_INTERVAL_CYCLES
+from repro.errors import ConfigError
 from repro.sim.engine import EventQueue
 from repro.sim.queueing import LcRequestSimulator, percentile
 
@@ -14,19 +15,30 @@ class TestPercentile:
         assert percentile(data, 100) == 100
 
     def test_single_value(self):
+        # A single sample is every percentile of itself, including the
+        # pct=100 boundary.
         assert percentile([42.0], 95) == 42.0
+        assert percentile([42.0], 100) == 42.0
+        assert percentile([42.0], 0.001) == 42.0
+
+    def test_pct_100_is_the_maximum(self):
+        assert percentile([2.0, 9.0, 4.0], 100) == 9.0
 
     def test_unsorted_input(self):
         assert percentile([5, 1, 3], 100) == 5
 
     def test_empty_rejected(self):
+        # ConfigError (a ValueError subclass), so callers can both
+        # catch the structured error and keep broad ValueError guards.
+        with pytest.raises(ConfigError):
+            percentile([], 95)
         with pytest.raises(ValueError):
             percentile([], 95)
 
     def test_bad_pct_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             percentile([1.0], 0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             percentile([1.0], 101)
 
 
@@ -161,4 +173,14 @@ class TestQueueSim:
 
     def test_service_cv_zero_is_deterministic_service(self):
         sim = LcRequestSimulator(qps=50, service_cv=0.0, seed=8)
-        assert sim._draw_service(1234.0) == 1234.0
+        # cv=0 draws no service variates at all; every request takes
+        # exactly the mean, so under an always-busy server completions
+        # are spaced exactly one service time apart.
+        assert sim._services is None
+        service = 2.0 * CORE_FREQ_HZ / 50  # heavy overload
+        result = sim.run_epoch(RECONFIG_INTERVAL_CYCLES, service)
+        lats = result.latencies_cycles
+        assert len(lats) >= 2
+        # Every latency is at least one service time (up to FP rounding
+        # in the arrival-time cumsum).
+        assert all(l >= service * (1 - 1e-12) for l in lats)
