@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test check check-faults bench bench-smoke \
-	bench-tracesim bench-model bench-full examples figures clean
+	bench-tracesim bench-model bench-obs bench-full examples figures \
+	clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +18,7 @@ check:
 	$(MAKE) bench-smoke
 	$(MAKE) bench-tracesim
 	$(MAKE) bench-model
+	$(MAKE) bench-obs
 	$(MAKE) check-faults
 
 # Chaos smoke (seconds, fixed seed): the fault-injection bench suite —
@@ -57,6 +59,14 @@ bench-model:
 	PYTHONPATH=src $(PYTHON) -m repro bench --suite model \
 	  --mixes 1 --epochs 4 --output BENCH_model_smoke.json
 
+# Observability gate (seconds): instrumentation must cost <2% with
+# tracing disabled (vs a fully stubbed run), an enabled run must cover
+# every required span, and same-seed metric snapshots must be
+# identical. Exits non-zero on any gate failure.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite obs \
+	  --epochs 4 --output BENCH_obs_smoke.json
+
 # Paper-scale sweep (40 mixes, 25 epochs) — takes a while.
 bench-full:
 	REPRO_MIXES=40 REPRO_EPOCHS=25 \
@@ -74,5 +84,6 @@ figures:
 clean:
 	rm -rf results/ .pytest_cache .benchmarks
 	rm -f BENCH_sweeps.json BENCH_tracesim_smoke.json \
-	  BENCH_model_smoke.json BENCH_faults_smoke.json
+	  BENCH_model_smoke.json BENCH_faults_smoke.json \
+	  BENCH_obs_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -20,9 +20,9 @@ Run with::
 """
 
 import argparse
-import os
 import time
 
+from repro.config import Settings
 from repro.experiments import (
     fig4,
     fig5,
@@ -52,7 +52,7 @@ def _parse_args() -> argparse.Namespace:
     parser.add_argument(
         "--seed",
         type=int,
-        default=int(os.environ.get("REPRO_SEED", "0")),
+        default=Settings.from_env().seed,
         help="base RNG seed for the sweep figures "
              "(default: REPRO_SEED or 0)",
     )

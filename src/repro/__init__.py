@@ -21,7 +21,9 @@ Quick start::
 
 from .config import (
     ControllerConfig,
+    Engine,
     QPS_TABLE,
+    Settings,
     SystemConfig,
     VmSpec,
 )
@@ -39,6 +41,7 @@ from .errors import (
     TelemetryInvalid,
 )
 from .faults import FaultPlan
+from . import obs
 from .core import (
     Allocation,
     AppInfo,
@@ -65,8 +68,11 @@ __version__ = "1.0.0"
 __all__ = [
     "SystemConfig",
     "ControllerConfig",
+    "Engine",
     "QPS_TABLE",
+    "Settings",
     "VmSpec",
+    "obs",
     "Allocation",
     "AppInfo",
     "PlacementContext",

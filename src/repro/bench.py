@@ -1,6 +1,6 @@
 """``repro bench``: timed sweep benchmarking with a machine-readable report.
 
-Two suites:
+Five suites:
 
 * ``--suite sweeps`` (default) runs the sweep-backed figures
   (Fig. 13-18) through the parallel runner and writes
@@ -42,6 +42,14 @@ Two suites:
   telemetry and injected placer failures. Writes ``BENCH_faults.json``
   and exits non-zero if any invariant breaks, so ``make check-faults``
   can gate on it.
+
+* ``--suite obs`` gates the observability subsystem (``repro.obs``):
+  disabled-mode instrumentation overhead on the Fig. 13 epoch loop must
+  stay within :data:`OBS_OVERHEAD_GATE` of a fully stubbed run, an
+  enabled run must cover every span in :data:`OBS_REQUIRED_SPANS` with
+  a loadable trace, and two same-seed enabled runs must produce
+  identical metric snapshots. Writes ``BENCH_obs.json`` and exits
+  non-zero on any gate failure, so ``make bench-obs`` can gate on it.
 """
 
 from __future__ import annotations
@@ -54,6 +62,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from . import __version__
+from .config import Settings
 from .runner import (
     ResultCache,
     collecting_stats,
@@ -63,10 +72,13 @@ from .runner import (
 
 __all__ = [
     "BENCH_FIGURES",
+    "OBS_OVERHEAD_GATE",
+    "OBS_REQUIRED_SPANS",
     "run_bench",
     "run_tracesim_bench",
     "run_model_bench",
     "run_faults_bench",
+    "run_obs_bench",
     "add_bench_arguments",
     "cmd_bench",
 ]
@@ -350,7 +362,7 @@ def run_tracesim_bench(
     # "speedup" drops below 1x). Unless the caller pinned a job count
     # (arg or REPRO_JOBS), cap the shard pool at 4 workers and record
     # the pool size actually used in the report.
-    if jobs is None and not (os.environ.get("REPRO_JOBS") or "").strip():
+    if jobs is None and Settings.from_env().jobs is None:
         shard_jobs = min(4, os.cpu_count() or 1)
     else:
         shard_jobs = jobs_resolved
@@ -859,15 +871,208 @@ def cmd_faults_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------
+# obs suite (observability overhead gate)
+# --------------------------------------------------------------------------
+
+
+#: Span names a traced model run must produce for the observability
+#: subsystem to count as covering the 100 ms loop end to end.
+OBS_REQUIRED_SPANS = frozenset(
+    {
+        "model.epoch",
+        "runtime.reconfigure",
+        "controller.update",
+        "placer.allocate",
+        "placer.latcrit",
+        "placer.lookahead",
+        "placer.jumanji",
+    }
+)
+
+#: Disabled-mode overhead gate: instrumented-but-disabled must cost at
+#: most this fraction more than the same code with the instrumentation
+#: stubbed out entirely.
+OBS_OVERHEAD_GATE = 0.02
+
+
+def run_obs_bench(
+    epochs: Optional[int] = None,
+    repeats: int = 5,
+    lc_workload: str = "xapian",
+    load: str = "high",
+    output: Optional[os.PathLike] = None,
+) -> Dict[str, Any]:
+    """Gate the observability subsystem: zero-cost off, complete on.
+
+    Three checks on the Fig. 13 epoch loop (Jumanji, one mix):
+
+    * **overhead** — interleaved min-of-``repeats`` timings of the
+      disabled-but-instrumented run against the same run with every
+      ``repro.obs`` hook swapped for a bare stub
+      (:func:`repro.obs.uninstrumented`); the ratio must stay within
+      :data:`OBS_OVERHEAD_GATE`.
+    * **coverage** — an enabled run must produce every span in
+      :data:`OBS_REQUIRED_SPANS` and write a loadable trace + metrics
+      snapshot.
+    * **determinism** — two enabled same-seed runs must produce
+      identical metric snapshots (no wall-clock leaks into values).
+    """
+    import tempfile
+
+    from . import obs
+    from .core.designs import make_design
+    from .experiments.common import num_epochs, run_seed
+    from .model.system import SystemModel, compute_deadline_cycles
+    from .model.workload import make_default_workload
+    from .workloads.mixes import base_app
+
+    if repeats < 1:
+        raise ValueError("need at least one timing repeat")
+    epochs = epochs if epochs is not None else num_epochs()
+    seed = run_seed(0, 0)
+
+    def one_run():
+        workload = make_default_workload(
+            [lc_workload], mix_seed=0, load=load
+        )
+        model = SystemModel(
+            make_design("Jumanji"), workload, seed=seed
+        )
+        return model.run(epochs)
+
+    # Warm shared caches (deadline lru_cache, imports, numpy) outside
+    # the timed region.
+    probe = make_default_workload([lc_workload], mix_seed=0, load=load)
+    for app in probe.lc_apps:
+        compute_deadline_cycles(
+            base_app(app), router_delay=probe.config.router_delay
+        )
+    one_run()
+
+    obs.reset()  # ensure disabled for the timing passes
+    disabled_times: List[float] = []
+    stub_times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        one_run()
+        disabled_times.append(time.perf_counter() - start)
+        with obs.uninstrumented():
+            start = time.perf_counter()
+            one_run()
+            stub_times.append(time.perf_counter() - start)
+    min_disabled = min(disabled_times)
+    min_stub = min(stub_times)
+    overhead = min_disabled / min_stub - 1.0
+    overhead_ok = overhead <= OBS_OVERHEAD_GATE
+
+    # Coverage + determinism: two enabled same-seed runs.
+    snapshots: List[Dict[str, Any]] = []
+    span_names: set = set()
+    trace_loadable = False
+    with tempfile.TemporaryDirectory() as tmp:
+        for attempt in range(2):
+            obs.reset()
+            trace = os.path.join(tmp, f"trace{attempt}.jsonl")
+            metrics = os.path.join(tmp, f"metrics{attempt}.txt")
+            obs.configure(trace=trace, metrics=metrics)
+            try:
+                one_run()
+            finally:
+                obs.flush()
+            snapshots.append(obs.metrics().snapshot())
+            records = obs.load_trace(trace)
+            span_names |= {
+                r["name"] for r in records if r.get("type") == "span"
+            }
+            trace_loadable = bool(records)
+            obs.reset()
+    missing = sorted(OBS_REQUIRED_SPANS - span_names)
+    coverage_ok = not missing and trace_loadable
+    deterministic = snapshots[0] == snapshots[1]
+
+    ok = overhead_ok and coverage_ok and deterministic
+    report: Dict[str, Any] = {
+        "version": __version__,
+        "suite": "obs",
+        "code_fingerprint": code_fingerprint(),
+        "workload": {
+            "design": "Jumanji",
+            "lc_workload": lc_workload,
+            "load": load,
+            "epochs": epochs,
+            "repeats": repeats,
+        },
+        "overhead": {
+            "disabled_seconds": disabled_times,
+            "stub_seconds": stub_times,
+            "min_disabled_seconds": min_disabled,
+            "min_stub_seconds": min_stub,
+            "overhead": overhead,
+            "gate": OBS_OVERHEAD_GATE,
+            "ok": overhead_ok,
+        },
+        "coverage": {
+            "spans": sorted(span_names),
+            "required": sorted(OBS_REQUIRED_SPANS),
+            "missing": missing,
+            "trace_loadable": trace_loadable,
+            "ok": coverage_ok,
+        },
+        "determinism": {"identical_snapshots": deterministic},
+        "ok": ok,
+    }
+    if output is None:
+        output = "BENCH_obs.json"
+    path = pathlib.Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    report["output"] = str(path)
+    return report
+
+
+def cmd_obs_bench(args: argparse.Namespace) -> int:
+    """CLI entry point for ``repro bench --suite obs``."""
+    output = args.output
+    if output == "BENCH_sweeps.json":
+        output = "BENCH_obs.json"
+    report = run_obs_bench(epochs=args.epochs, output=output)
+    wl = report["workload"]
+    oh = report["overhead"]
+    cov = report["coverage"]
+    print(
+        f"obs: {wl['design']}/{wl['lc_workload']}/{wl['load']}, "
+        f"{wl['epochs']} epochs x {wl['repeats']} repeats"
+    )
+    print(
+        f"  disabled overhead: {oh['overhead']:+.2%} "
+        f"(gate {oh['gate']:.0%}, min {oh['min_disabled_seconds']:.3f}s "
+        f"vs stub {oh['min_stub_seconds']:.3f}s)"
+    )
+    print(
+        f"  span coverage: {len(cov['spans'])} names, "
+        f"missing: {cov['missing'] or 'none'}"
+    )
+    print(
+        f"  deterministic metrics: "
+        f"{report['determinism']['identical_snapshots']}"
+    )
+    print(f"wrote {report['output']}")
+    if not report["ok"]:
+        print("OBS SUITE FAILED: see report above")
+        return 1
+    return 0
+
+
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach ``repro bench`` options to a subparser."""
     parser.add_argument(
         "--suite",
-        choices=("sweeps", "tracesim", "model", "faults"),
+        choices=("sweeps", "tracesim", "model", "faults", "obs"),
         default="sweeps",
         help="what to benchmark: figure sweeps (default), the "
-        "trace-simulator fast path, the vectorised epoch engine, or "
-        "the fault-injection chaos smoke",
+        "trace-simulator fast path, the vectorised epoch engine, "
+        "the fault-injection chaos smoke, or the observability "
+        "overhead gate",
     )
     parser.add_argument(
         "--figures",
@@ -932,6 +1137,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return cmd_model_bench(args)
     if args.suite == "faults":
         return cmd_faults_bench(args)
+    if args.suite == "obs":
+        return cmd_obs_bench(args)
     report = run_bench(
         figures=args.figures,
         jobs=args.jobs,

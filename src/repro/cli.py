@@ -6,10 +6,18 @@ Commands:
 * ``run``                  — run one design on one workload, print metrics
 * ``figure <name>``        — regenerate one of the paper's figures/tables
 * ``bench``                — benchmark suites: sweep figures (default),
-  the trace-simulator fast path (``--suite tracesim``), or the
-  fault-injection chaos smoke (``--suite faults``)
+  the trace-simulator fast path (``--suite tracesim``), the
+  fault-injection chaos smoke (``--suite faults``), or the
+  observability overhead gate (``--suite obs``)
 * ``deadline <app>``       — print an LC app's computed deadline
 * ``report``               — assemble results/ into a single SUMMARY.md
+* ``obs summarize <trace>`` — summarize a captured observability trace
+
+``run`` and ``figure`` accept ``--trace-out`` / ``--metrics-out``
+(defaults: the ``REPRO_TRACE`` / ``REPRO_METRICS`` env knobs) to record
+the run through :mod:`repro.obs`: a span/event trace (``.jsonl`` lines,
+or Chrome trace-event JSON when the path ends in ``.json`` — loadable
+in Perfetto) and a plain-text metrics snapshot.
 """
 
 from __future__ import annotations
@@ -62,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="batch-mix seed")
     run.add_argument("--epochs", type=int, default=20)
     run.add_argument("--seed", type=int, default=0)
+    _add_obs_outputs(run)
 
     fig = sub.add_parser(
         "figure", help="regenerate one of the paper's figures/tables"
@@ -74,13 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel workers for sweep figures "
              "(default: REPRO_JOBS or cpu count)",
     )
+    _add_obs_outputs(fig)
 
     from .bench import add_bench_arguments
 
     bench = sub.add_parser(
         "bench",
-        help="benchmark suites: sweeps (default), tracesim, or the "
-        "faults chaos smoke",
+        help="benchmark suites: sweeps (default), tracesim, model, "
+        "the faults chaos smoke, or the obs overhead gate",
     )
     add_bench_arguments(bench)
 
@@ -98,7 +108,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding per-figure reports (default results/)",
     )
 
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect observability traces (repro.obs)"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summ = obs_sub.add_parser(
+        "summarize",
+        help="top spans by self-time, event counts, retries, "
+        "degradations",
+    )
+    summ.add_argument(
+        "trace",
+        help="trace file: .jsonl event log or Chrome trace-event .json",
+    )
+    summ.add_argument(
+        "--top", type=int, default=10,
+        help="span names to list (default 10)",
+    )
+
     return parser
+
+
+def _add_obs_outputs(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``repro.obs`` output flags to a subparser."""
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record a span/event trace (.jsonl lines, or Chrome "
+        "trace-event JSON if PATH ends in .json; default: the "
+        "REPRO_TRACE env knob)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a plain-text metrics snapshot (default: the "
+        "REPRO_METRICS env knob)",
+    )
 
 
 def _cmd_designs() -> int:
@@ -215,15 +258,50 @@ def _cmd_deadline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """``repro obs summarize``: digest a captured trace."""
+    from .obs import format_summary, load_trace, summarize
+
+    records = load_trace(args.trace)
+    print(format_summary(summarize(records, top=args.top)))
+    return 0
+
+
+def _with_obs_outputs(args: argparse.Namespace, command) -> int:
+    """Run ``command(args)`` capturing a trace/metrics if requested.
+
+    The ``--trace-out`` / ``--metrics-out`` flags win; otherwise the
+    ``REPRO_TRACE`` / ``REPRO_METRICS`` env knobs (via
+    :class:`repro.config.Settings`) apply. With neither, observability
+    stays disabled and the command runs untouched.
+    """
+    from . import obs
+    from .config import Settings
+
+    settings = Settings.from_env()
+    trace = args.trace_out or settings.trace
+    metrics = args.metrics_out or settings.metrics
+    if not trace and not metrics:
+        return command(args)
+    obs.configure(trace=trace, metrics=metrics)
+    try:
+        return command(args)
+    finally:
+        written = obs.flush()
+        for kind in ("trace", "metrics"):
+            if written.get(kind):
+                print(f"wrote {kind} {written[kind]}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "designs":
         return _cmd_designs()
     if args.command == "run":
-        return _cmd_run(args)
+        return _with_obs_outputs(args, _cmd_run)
     if args.command == "figure":
-        return _cmd_figure(args)
+        return _with_obs_outputs(args, _cmd_figure)
     if args.command == "bench":
         from .bench import cmd_bench
 
@@ -232,6 +310,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_deadline(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -9,8 +9,11 @@ otherwise.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
+
+from .errors import ConfigError
 
 #: Core clock frequency in Hz (2.66 GHz Nehalem-class cores).
 CORE_FREQ_HZ = 2.66e9
@@ -185,3 +188,139 @@ class VmSpec:
 
 DEFAULT_SYSTEM = SystemConfig()
 DEFAULT_CONTROLLER = ControllerConfig()
+
+
+# --------------------------------------------------------------------------
+# Engine selection (the one place the fast/reference literal is checked)
+# --------------------------------------------------------------------------
+
+
+class Engine:
+    """The two implementations every dual-engine entry point accepts.
+
+    ``"fast"`` selects the vectorised kernels (numpy placers, batched
+    queueing RNG, memoisation); ``"reference"`` selects the frozen
+    scalar copies in :mod:`repro.model.reference` and
+    :mod:`repro.sim.reference`. The two are differentially tested to be
+    bit-identical. ``PlacementContext.engine``,
+    ``SystemModel(engine=...)``, and the trace-sim cells all validate
+    through :meth:`validate`, so an unknown literal fails the same way
+    everywhere.
+    """
+
+    FAST = "fast"
+    REFERENCE = "reference"
+    CHOICES = (FAST, REFERENCE)
+
+    @classmethod
+    def validate(cls, value: str, source: str = "engine") -> str:
+        """Return ``value`` if it names an engine; ConfigError otherwise."""
+        if value not in cls.CHOICES:
+            raise ConfigError(
+                f"unknown engine {value!r} for {source}: expected one "
+                f"of {cls.CHOICES!r}"
+            )
+        return value
+
+
+# --------------------------------------------------------------------------
+# Environment settings (the one place REPRO_* variables are read)
+# --------------------------------------------------------------------------
+
+
+def _clean(env: Mapping[str, str], name: str) -> Optional[str]:
+    """The variable's value, with unset and blank both meaning absent."""
+    value = env.get(name)
+    if value is None or not value.strip():
+        return None
+    return value
+
+
+def _positive_int(env: Mapping[str, str], name: str) -> Optional[int]:
+    raw = _clean(env, name)
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigError(f"{name} must be >= 1, got {raw!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Every ``REPRO_*`` environment knob, parsed and validated once.
+
+    :meth:`from_env` is the package's single reader of the environment;
+    call sites take the typed field instead of re-parsing
+    ``os.environ`` (keeping the "garbage raises
+    :class:`~repro.errors.ConfigError` naming the variable" contract in
+    one place). ``None`` means the variable is unset (or blank) and the
+    call site's own default applies.
+    """
+
+    #: ``REPRO_SEED`` — base RNG seed for sweeps/examples (default 0).
+    seed: int = 0
+    #: ``REPRO_JOBS`` — parallel sweep workers.
+    jobs: Optional[int] = None
+    #: ``REPRO_MIXES`` — batch mixes per workload (paper scale: 40).
+    mixes: Optional[int] = None
+    #: ``REPRO_EPOCHS`` — 100 ms epochs per run (paper scale: 25).
+    epochs: Optional[int] = None
+    #: ``REPRO_CELL_TIMEOUT`` — per-cell wall-clock budget in seconds.
+    cell_timeout: Optional[float] = None
+    #: ``REPRO_CHECKPOINT`` — sweep checkpoint journal path.
+    checkpoint: Optional[str] = None
+    #: ``REPRO_CACHE_DIR`` — result-cache directory.
+    cache_dir: Optional[str] = None
+    #: ``REPRO_TRACE`` — default ``--trace-out`` path for run/figure.
+    trace: Optional[str] = None
+    #: ``REPRO_METRICS`` — default ``--metrics-out`` path for run/figure.
+    metrics: Optional[str] = None
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> "Settings":
+        """Parse the environment (or a mapping standing in for it)."""
+        env = os.environ if environ is None else environ
+        seed_raw = _clean(env, "REPRO_SEED")
+        if seed_raw is None:
+            seed = 0
+        else:
+            try:
+                seed = int(seed_raw)
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_SEED must be an integer, got {seed_raw!r}"
+                ) from None
+        timeout_raw = _clean(env, "REPRO_CELL_TIMEOUT")
+        timeout: Optional[float] = None
+        if timeout_raw is not None:
+            try:
+                timeout = float(timeout_raw)
+            except ValueError:
+                raise ConfigError(
+                    "REPRO_CELL_TIMEOUT must be a number of seconds, "
+                    f"got {timeout_raw!r}"
+                ) from None
+            if timeout <= 0:
+                raise ConfigError(
+                    "REPRO_CELL_TIMEOUT must be a positive number of "
+                    f"seconds, got {timeout_raw!r}"
+                )
+        return cls(
+            seed=seed,
+            jobs=_positive_int(env, "REPRO_JOBS"),
+            mixes=_positive_int(env, "REPRO_MIXES"),
+            epochs=_positive_int(env, "REPRO_EPOCHS"),
+            cell_timeout=timeout,
+            checkpoint=_clean(env, "REPRO_CHECKPOINT"),
+            cache_dir=_clean(env, "REPRO_CACHE_DIR"),
+            trace=_clean(env, "REPRO_TRACE"),
+            metrics=_clean(env, "REPRO_METRICS"),
+        )

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cache.misscurve import MissCurve
-from ..config import SystemConfig, VmSpec
+from ..config import Engine, SystemConfig, VmSpec
 from ..noc.mesh import MeshNoc
 
 __all__ = ["AppInfo", "PlacementContext"]
@@ -52,17 +52,15 @@ class PlacementContext:
     vms: Sequence[VmSpec]
     apps: Dict[str, AppInfo]
     lat_sizes: Dict[str, float] = field(default_factory=dict)
-    #: Which placement implementation the entry-point placers use:
-    #: ``"fast"`` (the vectorised kernels) or ``"reference"`` (the
-    #: frozen scalar copies in :mod:`repro.model.reference`). The two
-    #: are differentially tested to be bit-identical.
-    engine: str = "fast"
+    #: Which placement implementation the entry-point placers use —
+    #: one of :data:`repro.config.Engine.CHOICES`: ``"fast"`` (the
+    #: vectorised kernels) or ``"reference"`` (the frozen scalar copies
+    #: in :mod:`repro.model.reference`). The two are differentially
+    #: tested to be bit-identical.
+    engine: str = Engine.FAST
 
     def __post_init__(self) -> None:
-        if self.engine not in ("fast", "reference"):
-            raise ValueError(
-                f"unknown placement engine {self.engine!r}"
-            )
+        Engine.validate(self.engine, source="PlacementContext")
         declared = {a for vm in self.vms for a in vm.apps}
         missing = declared - set(self.apps)
         if missing:

@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
+from .. import obs
 from ..cache.misscurve import MissCurve, combine_curves
 from .allocation import Allocation
 from .context import PlacementContext
@@ -145,12 +146,27 @@ def jumanji_placer(
     placement are kept, but batch capacity is divided per *app* over all
     remaining banks, so VMs may share banks.
     """
-    if ctx.engine == "reference":
-        from ..model.reference import reference_jumanji_placer
+    with obs.span(
+        "placer.jumanji",
+        engine=ctx.engine,
+        isolation=enforce_isolation,
+    ):
+        if ctx.engine == "reference":
+            from ..model.reference import reference_jumanji_placer
 
-        return reference_jumanji_placer(
-            ctx, step_mb=step_mb, enforce_isolation=enforce_isolation
-        )
+            return reference_jumanji_placer(
+                ctx, step_mb=step_mb,
+                enforce_isolation=enforce_isolation,
+            )
+        return _jumanji_fast(ctx, step_mb, enforce_isolation)
+
+
+def _jumanji_fast(
+    ctx: PlacementContext,
+    step_mb: float,
+    enforce_isolation: bool,
+) -> Allocation:
+    """The fast-engine implementation (see :func:`jumanji_placer`)."""
     # (1) Reserve and place latency-critical allocations.
     alloc = lat_crit_placer(ctx, isolate_vms=enforce_isolation)
 

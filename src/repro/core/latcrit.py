@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional
 
+from .. import obs
 from .allocation import Allocation
 from .context import PlacementContext
 
@@ -39,15 +40,28 @@ def lat_crit_placer(
     runs afterwards (Jigsaw within VM banks for Jumanji, or other
     strategies for the baseline designs).
     """
-    if ctx.engine == "reference":
-        from ..model.reference import reference_lat_crit_placer
+    with obs.span(
+        "placer.latcrit", engine=ctx.engine, lc_apps=len(ctx.lc_apps)
+    ):
+        if ctx.engine == "reference":
+            from ..model.reference import reference_lat_crit_placer
 
-        return reference_lat_crit_placer(
-            ctx,
-            allocation=allocation,
-            bank_affinity=bank_affinity,
-            isolate_vms=isolate_vms,
-        )
+            return reference_lat_crit_placer(
+                ctx,
+                allocation=allocation,
+                bank_affinity=bank_affinity,
+                isolate_vms=isolate_vms,
+            )
+        return _lat_crit_fast(ctx, allocation, bank_affinity, isolate_vms)
+
+
+def _lat_crit_fast(
+    ctx: PlacementContext,
+    allocation: Optional[Allocation],
+    bank_affinity: Optional[Mapping[str, int]],
+    isolate_vms: bool,
+) -> Allocation:
+    """The fast-engine implementation (see :func:`lat_crit_placer`)."""
     alloc = allocation if allocation is not None else Allocation(
         ctx.config, partition_mode="per-app"
     )

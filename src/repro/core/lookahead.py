@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..cache.misscurve import MissCurve, chain_argbest
 
 __all__ = ["lookahead", "jumanji_lookahead"]
@@ -136,6 +137,21 @@ def jumanji_lookahead(
     reservation is 1.3 banks, the possible batch sizes are 0.7, 1.7, ...
     banks, exactly as the paper's example describes.
     """
+    with obs.span(
+        "placer.lookahead", vms=len(vm_curves), num_banks=num_banks
+    ):
+        return _jumanji_lookahead_impl(
+            vm_curves, lat_allocs, num_banks, bank_mb
+        )
+
+
+def _jumanji_lookahead_impl(
+    vm_curves: Mapping[int, MissCurve],
+    lat_allocs: Mapping[int, float],
+    num_banks: int,
+    bank_mb: float,
+) -> Dict[int, float]:
+    """The lookahead body (spanned by :func:`jumanji_lookahead`)."""
     if num_banks < 1:
         raise ValueError("need at least one bank")
     if bank_mb <= 0:

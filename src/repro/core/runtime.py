@@ -37,13 +37,14 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from .. import obs
 from ..config import (
     CORE_FREQ_HZ,
     RECONFIG_INTERVAL_CYCLES,
     ControllerConfig,
     SystemConfig,
 )
-from ..errors import PlacementFailed, TelemetryInvalid, log_event
+from ..errors import PlacementFailed, TelemetryInvalid
 from ..vtb.vtb import PlacementDescriptor, Vtb
 from .allocation import Allocation
 from .context import PlacementContext
@@ -145,7 +146,7 @@ class JumanjiRuntime:
     # -- degraded-mode plumbing ---------------------------------------------------
 
     def _event(self, event: str, **fields: Any) -> None:
-        self.events.append(log_event(logger, event, **fields))
+        self.events.append(obs.emit(event, logger=logger, **fields))
 
     def register_lc_app(self, app: str, deadline_cycles: float) -> None:
         """Register an LC app and its deadline with the controller."""
@@ -212,7 +213,28 @@ class JumanjiRuntime:
         allocation is re-installed and the record is marked
         ``degraded`` — never an unvalidated allocation.
         """
-        self.controller.epoch_boundary()
+        with obs.span(
+            "runtime.reconfigure",
+            epoch=self.epoch,
+            design=self.design.name,
+        ):
+            record = self._reconfigure()
+        if obs.is_enabled():
+            obs.counter_inc("runtime.reconfigurations")
+            if record.degraded:
+                obs.counter_inc("runtime.degraded_epochs")
+            if self._memoize:
+                obs.counter_inc(
+                    "runtime.memo_hits"
+                    if record.memo_hit
+                    else "runtime.memo_misses"
+                )
+        return record
+
+    def _reconfigure(self) -> ReconfigRecord:
+        """The reconfiguration body (spanned by :meth:`reconfigure`)."""
+        with obs.span("controller.update", epoch=self.epoch):
+            self.controller.epoch_boundary()
         degraded = False
         memo_hit = False
         try:
@@ -233,8 +255,12 @@ class JumanjiRuntime:
                 memo_hit = True
                 self.memo_hits += 1
             else:
-                allocation = self.design.allocate(ctx)
-                allocation.validate()
+                with obs.span(
+                    "placer.allocate", design=self.design.name,
+                    epoch=self.epoch,
+                ):
+                    allocation = self.design.allocate(ctx)
+                    allocation.validate()
                 if memo_key is not None:
                     self.memo_misses += 1
                     self._memo[memo_key] = allocation

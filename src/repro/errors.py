@@ -9,9 +9,10 @@ reproduction one vocabulary for those events:
 * typed exceptions (:class:`CellTimeout`, :class:`CacheCorrupt`,
   :class:`TelemetryInvalid`, ...) so callers can catch precisely the
   failures they know how to absorb, and
-* :func:`log_event`, a single-line JSON structured event emitter, so
-  degraded-mode decisions (quarantined cache entries, placer fallbacks,
-  dropped telemetry) leave an auditable trail.
+* :func:`log_event`, the seed-era structured event emitter — now a
+  deprecated shim over :func:`repro.obs.emit`, which is where every
+  degraded-mode decision (quarantined cache entries, placer fallbacks,
+  dropped telemetry) is reported.
 
 Several exceptions also subclass ``ValueError``/``KeyError`` so code
 (and tests) written against the seed's untyped raises keep working.
@@ -19,8 +20,8 @@ Several exceptions also subclass ``ValueError``/``KeyError`` so code
 
 from __future__ import annotations
 
-import json
 import logging
+import warnings
 from typing import Any, Dict, Optional
 
 __all__ = [
@@ -165,20 +166,20 @@ class PlacementFailed(ReproError):
 def log_event(
     logger: logging.Logger, event: str, **fields: Any
 ) -> Dict[str, Any]:
-    """Log one machine-parseable degraded-mode event; return it.
+    """Deprecated: use :func:`repro.obs.emit` instead.
 
-    The record is a flat dict ``{"event": ..., **fields}`` rendered as
-    one JSON line at WARNING level, so operators can grep a run's log
-    for e.g. ``"event": "cache_corrupt"`` and count occurrences.
-    Non-JSON-able field values are stringified rather than raising —
-    event logging must never become its own failure mode.
+    Kept as a thin shim so seed-era callers keep working: it delegates
+    to ``repro.obs.emit(event, logger=logger, **fields)`` (same flat
+    ``{"event": ..., **fields}`` record, same one-line JSON at WARNING
+    level) and additionally warns — once per process — that the call
+    path moved. New code should call ``repro.obs.emit`` directly, which
+    also records the event into any active trace/metrics collection.
     """
-    record = {"event": event}
-    for key, value in fields.items():
-        try:
-            json.dumps(value)
-        except (TypeError, ValueError):
-            value = repr(value)
-        record[key] = value
-    logger.warning("%s", json.dumps(record, sort_keys=True))
-    return record
+    warnings.warn(
+        "repro.errors.log_event is deprecated; use repro.obs.emit",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from . import obs
+
+    return obs.emit(event, logger=logger, **fields)

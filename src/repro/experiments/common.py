@@ -16,14 +16,12 @@ runs remain one setting away):
 from __future__ import annotations
 
 import dataclasses
-import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..config import SystemConfig
-from ..errors import ConfigError
+from ..config import Settings, SystemConfig
 from ..metrics.speedup import gmean, weighted_speedup
 from ..model.system import RunResult, run_design
 from ..model.workload import WorkloadSpec, make_default_workload
@@ -77,30 +75,16 @@ LC_WORKLOADS = (
 )
 
 
-def _env_scale(name: str, default: int) -> int:
-    """A positive-integer env knob, or :class:`ConfigError` if garbage."""
-    env = os.environ.get(name)
-    if env is None or not env.strip():
-        return default
-    try:
-        value = int(env)
-    except ValueError:
-        raise ConfigError(
-            f"{name} must be a positive integer, got {env!r}"
-        ) from None
-    if value < 1:
-        raise ConfigError(f"{name} must be >= 1, got {env!r}")
-    return value
-
-
 def num_mixes(default: int = 6) -> int:
     """Batch mixes per workload (``REPRO_MIXES`` env override)."""
-    return _env_scale("REPRO_MIXES", default)
+    mixes = Settings.from_env().mixes
+    return mixes if mixes is not None else default
 
 
 def num_epochs(default: int = 20) -> int:
     """Epochs per run (``REPRO_EPOCHS`` env override)."""
-    return _env_scale("REPRO_EPOCHS", default)
+    epochs = Settings.from_env().epochs
+    return epochs if epochs is not None else default
 
 
 @dataclass(frozen=True)

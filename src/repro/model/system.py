@@ -25,10 +25,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..config import (
     CORE_FREQ_HZ,
     RECONFIG_INTERVAL_CYCLES,
     ControllerConfig,
+    Engine,
     SystemConfig,
 )
 from ..core.allocation import Allocation
@@ -236,8 +238,7 @@ class SystemModel:
     ):
         if epoch_cycles <= 0:
             raise ValueError("epoch_cycles must be positive")
-        if engine not in ("fast", "reference"):
-            raise ValueError(f"unknown engine {engine!r}")
+        engine = Engine.validate(engine, source="SystemModel")
         self.design = design
         self.workload = workload
         self.config = workload.config
@@ -262,9 +263,9 @@ class SystemModel:
             ),
             controller_config=controller_config,
             seed=seed,
-            memoize_placement=(engine == "fast"),
+            memoize_placement=(engine == Engine.FAST),
         )
-        if engine == "reference":
+        if engine == Engine.REFERENCE:
             from .reference import ReferenceLcRequestSimulator
 
             sim_cls = ReferenceLcRequestSimulator
@@ -444,56 +445,74 @@ class SystemModel:
             }
         )
         for epoch in range(num_epochs):
-            record = self.runtime.reconfigure()
-            alloc = record.allocation
-            if ideal:
-                ctx = self.workload.build_context(
-                    self._effective_lat_sizes(self.runtime.lat_sizes()),
-                    self.noc,
-                    engine=self.engine,
-                )
-                batch_alloc = self.design.allocate_batch(ctx)
-            else:
-                batch_alloc = alloc
-            lc_tails: Dict[str, float] = {}
-            lc_sizes: Dict[str, float] = {}
-            lc_lats: Dict[str, List[float]] = {}
-            for app in self.workload.lc_apps:
-                lats, size = self._lc_epoch(app, alloc)
-                lc_lats[app] = lats
-                lc_sizes[app] = size
-                lc_tails[app] = (
-                    percentile(lats, 95.0) if lats else float("nan")
-                )
-                if epoch >= warmup:
-                    all_latencies[app].extend(lats)
-            ipcs, rates = self._batch_epoch(batch_alloc)
-            # Vulnerability over the allocation actually serving traffic.
-            if (
-                self._vuln_cache is not None
-                and self._vuln_cache[0] is batch_alloc
+            with obs.span(
+                "model.epoch", epoch=epoch, design=self.design.name,
             ):
-                vuln = self._vuln_cache[1]
-            else:
-                vuln = potential_attackers_per_access(
-                    batch_alloc, vm_map, intensity
+                record = self.runtime.reconfigure()
+                alloc = record.allocation
+                if ideal:
+                    ctx = self.workload.build_context(
+                        self._effective_lat_sizes(
+                            self.runtime.lat_sizes()
+                        ),
+                        self.noc,
+                        engine=self.engine,
+                    )
+                    batch_alloc = self.design.allocate_batch(ctx)
+                else:
+                    batch_alloc = alloc
+                lc_tails: Dict[str, float] = {}
+                lc_sizes: Dict[str, float] = {}
+                lc_lats: Dict[str, List[float]] = {}
+                for app in self.workload.lc_apps:
+                    lats, size = self._lc_epoch(app, alloc)
+                    lc_lats[app] = lats
+                    lc_sizes[app] = size
+                    lc_tails[app] = (
+                        percentile(lats, 95.0) if lats else float("nan")
+                    )
+                    if epoch >= warmup:
+                        all_latencies[app].extend(lats)
+                if obs.is_enabled():
+                    # Deterministic for a fixed seed: the ratio comes
+                    # from the seeded queueing simulation, not a clock.
+                    for app, tail in lc_tails.items():
+                        deadline = self._deadlines.get(app)
+                        if deadline and tail == tail:  # skip NaN
+                            obs.observe(
+                                "model.lc_tail_vs_deadline",
+                                tail / deadline,
+                                edges=obs.RATIO_EDGES,
+                            )
+                ipcs, rates = self._batch_epoch(batch_alloc)
+                # Vulnerability over the allocation actually serving
+                # traffic.
+                if (
+                    self._vuln_cache is not None
+                    and self._vuln_cache[0] is batch_alloc
+                ):
+                    vuln = self._vuln_cache[1]
+                else:
+                    vuln = potential_attackers_per_access(
+                        batch_alloc, vm_map, intensity
+                    )
+                    self._vuln_cache = (batch_alloc, vuln)
+                if ideal:
+                    # LC copy is isolated per construction; report the
+                    # batch copy's exposure (it is the shared
+                    # structure).
+                    pass
+                energy = self._epoch_energy(batch_alloc, rates, lc_lats)
+                epochs.append(
+                    EpochMetrics(
+                        epoch=epoch,
+                        lc_tails=lc_tails,
+                        lc_sizes=lc_sizes,
+                        batch_ipcs=ipcs,
+                        vulnerability=vuln,
+                        energy=energy,
+                    )
                 )
-                self._vuln_cache = (batch_alloc, vuln)
-            if ideal:
-                # LC copy is isolated per construction; report the batch
-                # copy's exposure (it is the shared structure).
-                pass
-            energy = self._epoch_energy(batch_alloc, rates, lc_lats)
-            epochs.append(
-                EpochMetrics(
-                    epoch=epoch,
-                    lc_tails=lc_tails,
-                    lc_sizes=lc_sizes,
-                    batch_ipcs=ipcs,
-                    vulnerability=vuln,
-                    energy=energy,
-                )
-            )
         return RunResult(
             design=self.design.name,
             load=self.workload.load,

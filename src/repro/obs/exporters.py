@@ -1,0 +1,174 @@
+"""Exporters: trace records and metrics to files, and back.
+
+Three output formats, one in-memory record shape:
+
+* **JSONL** — one JSON object per line, spans and events interleaved in
+  completion order. Lossless round-trip of the in-memory records.
+* **Chrome trace-event JSON** — ``{"traceEvents": [...]}`` with ``ph:
+  "X"`` complete events for spans and ``ph: "i"`` instants for emitted
+  events, loadable in Perfetto / ``chrome://tracing``. CPU time, self
+  time, and depth ride along in each event's ``args``.
+* **plain-text metrics** — :meth:`MetricsRegistry.render_text`.
+
+:func:`load_trace` reads either trace format back into the in-memory
+record shape, so ``repro obs summarize`` and the round-trip tests work
+on both.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Sequence
+
+from ..errors import ConfigError
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "load_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_text",
+]
+
+
+def _prepare(path: os.PathLike) -> pathlib.Path:
+    out = pathlib.Path(path)
+    if out.parent != pathlib.Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def write_jsonl(
+    records: Sequence[Dict[str, Any]], path: os.PathLike
+) -> None:
+    """One JSON object per line; lossless."""
+    out = _prepare(path)
+    with open(out, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def write_chrome_trace(
+    records: Sequence[Dict[str, Any]], path: os.PathLike
+) -> None:
+    """Chrome trace-event JSON (open in Perfetto: ui.perfetto.dev)."""
+    trace_events: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("type") == "span":
+            args = dict(record.get("args") or {})
+            args["cpu_us"] = record["cpu_us"]
+            args["self_us"] = record["self_us"]
+            args["depth"] = record["depth"]
+            trace_events.append(
+                {
+                    "name": record["name"],
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": record["ts_us"],
+                    "dur": record["dur_us"],
+                    "pid": record["pid"],
+                    "tid": record["pid"],
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "name": record["event"],
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": record["ts_us"],
+                    "pid": record["pid"],
+                    "tid": record["pid"],
+                    "args": dict(record.get("fields") or {}),
+                }
+            )
+    payload = {"displayTimeUnit": "ms", "traceEvents": trace_events}
+    _prepare(path).write_text(json.dumps(payload) + "\n")
+
+
+def write_metrics_text(
+    registry: MetricsRegistry, path: os.PathLike
+) -> None:
+    """The registry's deterministic plain-text snapshot."""
+    _prepare(path).write_text(registry.render_text())
+
+
+def _record_from_chrome(event: Dict[str, Any]) -> Dict[str, Any]:
+    """One Chrome trace event back to the in-memory record shape."""
+    if event.get("ph") == "X":
+        args = dict(event.get("args") or {})
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": event.get("name", ""),
+            "ts_us": float(event.get("ts", 0.0)),
+            "dur_us": float(event.get("dur", 0.0)),
+            "cpu_us": float(args.pop("cpu_us", 0.0)),
+            "self_us": float(args.pop("self_us", event.get("dur", 0.0))),
+            "depth": int(args.pop("depth", 0)),
+            "pid": int(event.get("pid", 0)),
+        }
+        if args:
+            record["args"] = args
+        return record
+    record = {
+        "type": "event",
+        "event": event.get("name", ""),
+        "ts_us": float(event.get("ts", 0.0)),
+        "pid": int(event.get("pid", 0)),
+    }
+    fields = dict(event.get("args") or {})
+    if fields:
+        record["fields"] = fields
+    return record
+
+
+def load_trace(path: os.PathLike) -> List[Dict[str, Any]]:
+    """Read a trace file (JSONL or Chrome format) back into records.
+
+    Raises :class:`~repro.errors.ConfigError` on anything unreadable —
+    naming the file and line so ``repro obs summarize`` fails usefully.
+    """
+    source = pathlib.Path(path)
+    try:
+        text = source.read_text()
+    except OSError as exc:
+        raise ConfigError(f"cannot read trace file {source}: {exc}")
+    stripped = text.lstrip()
+    if not stripped:
+        raise ConfigError(f"trace file {source} is empty")
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            payload = None
+        if isinstance(payload, dict) and "traceEvents" in payload:
+            trace_events = payload["traceEvents"]
+            if not isinstance(trace_events, list):
+                raise ConfigError(
+                    f"trace file {source}: traceEvents is not a list"
+                )
+            return [
+                _record_from_chrome(e)
+                for e in trace_events
+                if isinstance(e, dict)
+            ]
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            raise ConfigError(
+                f"trace file {source}:{lineno} is not valid JSON"
+            ) from None
+        if not isinstance(record, dict) or "type" not in record:
+            raise ConfigError(
+                f"trace file {source}:{lineno} is not a trace record"
+            )
+        records.append(record)
+    return records

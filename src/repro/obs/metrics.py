@@ -1,0 +1,161 @@
+"""Deterministic process-local metrics: counters, gauges, histograms.
+
+The registry is the quantitative half of :mod:`repro.obs` — where spans
+answer "where did the time go", metrics answer "how often did each
+thing happen". Everything stored here must be *deterministic* for a
+fixed seed: counters and gauges hold values the simulation computed
+(reconfigurations, memo hits, tail/deadline ratios), never wall-clock
+readings, so two same-seed runs snapshot identically and the snapshot
+can sit next to golden-compared outputs without breaking them.
+
+Histograms use fixed bucket edges chosen at creation (first ``observe``
+wins); the rendered form lists every bucket in edge order, so the text
+snapshot is stable byte-for-byte across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "RATIO_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: General-purpose magnitude buckets (dimensionless or seconds-ish).
+DEFAULT_EDGES = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+#: Buckets for "measured / target" ratios — e.g. p95 tail latency over
+#: deadline, where 1.0 is the paper's line in the sand and the
+#: controller's target band (0.85-0.95) needs its own resolution.
+RATIO_EDGES = (
+    0.25, 0.5, 0.75, 0.85, 0.95, 1.0, 1.1, 1.25, 1.5, 2.0, 5.0,
+)
+
+
+class Histogram:
+    """Fixed-edge histogram (Prometheus-style ``le`` semantics).
+
+    ``counts[i]`` is the number of observations with
+    ``value <= edges[i]`` (and above the previous edge); the final
+    bucket is the +inf overflow. Edges are immutable after creation so
+    rendered output is deterministic.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "minimum",
+                 "maximum")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_EDGES):
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ConfigError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigError(
+                "histogram edges must be strictly increasing, got "
+                f"{edges!r}"
+            )
+        self.edges = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (used by :meth:`MetricsRegistry.snapshot`)."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one process.
+
+    Not thread-safe and not meant to be: the reproduction is
+    single-threaded per process, and worker processes get their own
+    registry (shipped back to the parent as events, not merged
+    numerically).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter_inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to a monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set a gauge to its latest value."""
+        self.gauges[name] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        edges: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Record one histogram sample (edges fixed by the first call)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(edges if edges is not None else DEFAULT_EDGES)
+            self.histograms[name] = hist
+        hist.observe(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metrics as one sorted, JSON-friendly dict."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.as_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def render_text(self) -> str:
+        """Plain-text snapshot, stable byte-for-byte for a fixed seed."""
+        lines = ["# repro metrics v1"]
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"counter {name} {value!r}")
+        for name, value in sorted(self.gauges.items()):
+            lines.append(f"gauge {name} {value!r}")
+        for name, hist in sorted(self.histograms.items()):
+            lines.append(
+                f"histogram {name} count {hist.count} sum "
+                f"{hist.total!r} min {hist.minimum!r} max "
+                f"{hist.maximum!r}"
+            )
+            for edge, count in zip(hist.edges, hist.counts):
+                lines.append(
+                    f"histogram_bucket {name} le={edge!r} {count}"
+                )
+            lines.append(
+                f"histogram_bucket {name} le=+inf {hist.counts[-1]}"
+            )
+        return "\n".join(lines) + "\n"

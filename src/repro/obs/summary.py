@@ -1,0 +1,102 @@
+"""Trace summarization: what ``repro obs summarize`` prints.
+
+Aggregates a loaded trace (see :func:`repro.obs.load_trace`) into the
+operator's first questions: where did the time go (top spans by
+cumulative self-time), and how rough was the ride (retry and
+degraded-mode event counts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["DEGRADATION_EVENTS", "format_summary", "summarize"]
+
+#: Event names that indicate the run left the happy path: placer
+#: fallbacks, dropped telemetry, quarantined cache entries, unhealthy
+#: pools, and the serial fallback itself.
+DEGRADATION_EVENTS = (
+    "placement_failed",
+    "telemetry_invalid",
+    "cache_corrupt",
+    "pool_respawn",
+    "degraded_serial",
+)
+
+
+def summarize(
+    records: Sequence[Dict[str, Any]], top: int = 10
+) -> Dict[str, Any]:
+    """Aggregate trace records into a summary dict.
+
+    ``spans`` holds per-name aggregates sorted by total self-time
+    (descending, capped at ``top``); ``events`` counts every emitted
+    event; ``retries`` and ``degradations`` pull out the counts the
+    fault-tolerance layer cares about.
+    """
+    by_name: Dict[str, Dict[str, float]] = {}
+    event_counts: Dict[str, int] = {}
+    span_total = 0
+    for record in records:
+        if record.get("type") == "span":
+            span_total += 1
+            entry = by_name.setdefault(
+                record.get("name", ""),
+                {"count": 0, "wall_us": 0.0, "cpu_us": 0.0,
+                 "self_us": 0.0},
+            )
+            entry["count"] += 1
+            entry["wall_us"] += float(record.get("dur_us", 0.0))
+            entry["cpu_us"] += float(record.get("cpu_us", 0.0))
+            entry["self_us"] += float(record.get("self_us", 0.0))
+        elif record.get("type") == "event":
+            name = record.get("event", "")
+            event_counts[name] = event_counts.get(name, 0) + 1
+    spans = sorted(
+        (
+            {"name": name, **entry}
+            for name, entry in by_name.items()
+        ),
+        key=lambda entry: (-entry["self_us"], entry["name"]),
+    )
+    return {
+        "total_spans": span_total,
+        "total_events": sum(event_counts.values()),
+        "spans": spans[: max(top, 0)],
+        "span_names": sorted(by_name),
+        "events": dict(sorted(event_counts.items())),
+        "retries": event_counts.get("cell_retry", 0),
+        "degradations": sum(
+            event_counts.get(name, 0) for name in DEGRADATION_EVENTS
+        ),
+    }
+
+
+def format_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize`'s output."""
+    lines: List[str] = [
+        f"trace: {summary['total_spans']} spans, "
+        f"{summary['total_events']} events",
+    ]
+    if summary["spans"]:
+        lines.append("top spans by self time:")
+        lines.append(
+            f"  {'name':<24s} {'count':>7s} {'self(ms)':>10s} "
+            f"{'wall(ms)':>10s} {'cpu(ms)':>10s}"
+        )
+        for entry in summary["spans"]:
+            lines.append(
+                f"  {entry['name']:<24s} {entry['count']:>7d} "
+                f"{entry['self_us'] / 1e3:>10.2f} "
+                f"{entry['wall_us'] / 1e3:>10.2f} "
+                f"{entry['cpu_us'] / 1e3:>10.2f}"
+            )
+    if summary["events"]:
+        lines.append("events:")
+        for name, count in summary["events"].items():
+            lines.append(f"  {name:<24s} {count:>7d}")
+    lines.append(
+        f"retries: {summary['retries']}, "
+        f"degradations: {summary['degradations']}"
+    )
+    return "\n".join(lines)

@@ -75,13 +75,14 @@ from typing import (
     Tuple,
 )
 
+from . import obs
+from .config import Settings
 from .errors import (
     CellCrashed,
     CellFailed,
     CellTimeout,
     ConfigError,
     SweepAborted,
-    log_event,
 )
 from .faults import FaultPlan
 
@@ -112,20 +113,11 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
     Garbage values (non-integer, zero, negative) raise
     :class:`~repro.errors.ConfigError` with a message naming the source.
+    The environment is read through :class:`repro.config.Settings`, the
+    package's single ``REPRO_*`` parser.
     """
     if jobs is None:
-        env = os.environ.get("REPRO_JOBS")
-        if env is not None and env.strip():
-            try:
-                jobs = int(env)
-            except ValueError:
-                raise ConfigError(
-                    f"REPRO_JOBS must be a positive integer, got {env!r}"
-                ) from None
-            if jobs < 1:
-                raise ConfigError(
-                    f"REPRO_JOBS must be >= 1, got {env!r}"
-                )
+        jobs = Settings.from_env().jobs
     if jobs is None:
         jobs = os.cpu_count() or 1
     if isinstance(jobs, bool) or not isinstance(jobs, int):
@@ -216,7 +208,7 @@ def cell_key(cell: Cell) -> str:
 
 def default_cache_dir() -> pathlib.Path:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sweeps``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    env = Settings.from_env().cache_dir
     if env:
         return pathlib.Path(env)
     return pathlib.Path.home() / ".cache" / "repro-sweeps"
@@ -287,9 +279,9 @@ class ResultCache:
             os.replace(path, quarantined)
         except OSError:
             quarantined = None
-        log_event(
-            logger,
+        obs.emit(
             "cache_corrupt",
+            logger=logger,
             path=str(path),
             quarantined=str(quarantined) if quarantined else None,
             reason=reason,
@@ -559,29 +551,44 @@ def _evaluate(
 
 
 def _worker(
-    task: Tuple[int, Cell, str, int, Optional[Dict[str, Any]]]
+    task: Tuple[int, Cell, str, int, Optional[Dict[str, Any]], bool]
 ) -> Tuple[int, int, Tuple[Any, ...]]:
     """Evaluate one cell in a worker process.
 
     Returns ``(index, attempt, payload)`` where payload is one of
-    ``("ok", value, was_cached, duration, quarantined)``,
+    ``("ok", value, was_cached, duration, quarantined, events)``,
     ``("crash", message)``, or ``("error", traceback_text)`` — failures
     travel as markers, never as raises, so the parent can apply its
     retry policy deterministically.
+
+    ``events`` ships the worker's observability records (spans inside
+    the cell — placer stages, model epochs — plus emitted events) back
+    to the parent for one merged trace; it is ``None`` when the parent
+    had collection disabled at dispatch time.
     """
-    index, cell, cache_dir, attempt, plan_params = task
+    index, cell, cache_dir, attempt, plan_params, obs_enabled = task
+    if obs_enabled:
+        # Fork copied the parent's collected records into this process;
+        # start clean so only this cell's records ship back.
+        obs.begin_worker_capture()
     plan = FaultPlan.from_params(plan_params)
     cache = ResultCache(cache_dir)
     key = cell_key(cell)
     try:
-        value, was_cached, duration, quarantined = _evaluate(
-            cell, key, cache, plan, attempt, in_worker=True
-        )
+        with obs.span(
+            "sweep.cell", kind=cell.kind, attempt=attempt, index=index
+        ):
+            value, was_cached, duration, quarantined = _evaluate(
+                cell, key, cache, plan, attempt, in_worker=True
+            )
     except _SimulatedCrash as exc:
         return index, attempt, ("crash", str(exc))
     except Exception:
         return index, attempt, ("error", traceback.format_exc())
-    return index, attempt, ("ok", value, was_cached, duration, quarantined)
+    events = obs.take_events() if obs_enabled else None
+    return index, attempt, (
+        "ok", value, was_cached, duration, quarantined, events,
+    )
 
 
 # --------------------------------------------------------------------------
@@ -619,18 +626,12 @@ class RetryPolicy:
 
     @classmethod
     def from_env(cls) -> "RetryPolicy":
-        """Default policy, honouring ``REPRO_CELL_TIMEOUT``."""
-        env = os.environ.get("REPRO_CELL_TIMEOUT")
-        timeout = None
-        if env is not None and env.strip():
-            try:
-                timeout = float(env)
-            except ValueError:
-                raise ConfigError(
-                    "REPRO_CELL_TIMEOUT must be a number of seconds, "
-                    f"got {env!r}"
-                ) from None
-        return cls(timeout_seconds=timeout)
+        """Default policy, honouring ``REPRO_CELL_TIMEOUT``.
+
+        Parsed through :class:`repro.config.Settings` (garbage raises
+        :class:`~repro.errors.ConfigError` naming the variable).
+        """
+        return cls(timeout_seconds=Settings.from_env().cell_timeout)
 
     def backoff_for(self, attempt: int) -> float:
         """Backoff before dispatching attempt ``attempt`` (1-based)."""
@@ -769,7 +770,7 @@ class SweepRunner:
         self.cache = cache if cache is not None else ResultCache()
         self.policy = policy if policy is not None else RetryPolicy.from_env()
         if checkpoint is None:
-            env = os.environ.get("REPRO_CHECKPOINT")
+            env = Settings.from_env().checkpoint
             if env:
                 checkpoint = SweepCheckpoint(env)
         self.checkpoint = checkpoint
@@ -782,7 +783,7 @@ class SweepRunner:
     # -- event plumbing ------------------------------------------------------
 
     def _event(self, event: str, **fields: Any) -> None:
-        self.events.append(log_event(logger, event, **fields))
+        self.events.append(obs.emit(event, logger=logger, **fields))
 
     def _completed(self, key: str, completed_so_far: int, total: int) -> None:
         """Journal one completion; honour the simulated-kill hook."""
@@ -833,21 +834,37 @@ class SweepRunner:
             pending = still_pending
 
         try:
-            if pending:
-                if self.jobs == 1 or len(pending) == 1:
-                    self._map_serial(
-                        cells, keys, pending, results, batch,
-                        completed, degraded=False,
-                    )
-                else:
-                    self._map_parallel(
-                        cells, keys, pending, results, batch, completed
-                    )
+            with obs.span(
+                "sweep.map", cells=len(cells), jobs=self.jobs
+            ):
+                if pending:
+                    if self.jobs == 1 or len(pending) == 1:
+                        self._map_serial(
+                            cells, keys, pending, results, batch,
+                            completed, degraded=False,
+                        )
+                    else:
+                        self._map_parallel(
+                            cells, keys, pending, results, batch,
+                            completed,
+                        )
         finally:
             batch.wall_seconds = time.perf_counter() - start
             self.stats.absorb(batch)
             if _ACTIVE_COLLECTOR is not None:
                 _ACTIVE_COLLECTOR.absorb(batch)
+            if obs.is_enabled():
+                obs.counter_inc("runner.cells", batch.cells)
+                obs.counter_inc("runner.computed", batch.computed)
+                obs.counter_inc("runner.cache_hits", batch.cache_hits)
+                obs.counter_inc("runner.retries", batch.retries)
+                obs.counter_inc("runner.quarantined", batch.quarantined)
+                obs.counter_inc(
+                    "runner.pool_respawns", batch.pool_respawns
+                )
+                obs.counter_inc(
+                    "runner.degraded_cells", batch.degraded_cells
+                )
         return results
 
     # -- serial path ---------------------------------------------------------
@@ -886,10 +903,13 @@ class SweepRunner:
         attempt = 0
         while True:
             try:
-                value, was_cached, duration, quarantined = _evaluate(
-                    cell, key, self.cache, self.fault_plan, attempt,
-                    in_worker=False,
-                )
+                with obs.span(
+                    "sweep.cell", kind=cell.kind, attempt=attempt
+                ):
+                    value, was_cached, duration, quarantined = _evaluate(
+                        cell, key, self.cache, self.fault_plan, attempt,
+                        in_worker=False,
+                    )
                 batch.quarantined += quarantined
                 return value, was_cached, duration
             except _SimulatedCrash as exc:
@@ -991,6 +1011,7 @@ class SweepRunner:
             )
 
         pool = None
+        obs_on = obs.is_enabled()
         try:
             pool = self._spawn_pool(ctx, processes)
             while queue or inflight or backoff_heap:
@@ -1003,7 +1024,7 @@ class SweepRunner:
                     state = states[i]
                     task = (
                         i, state.cell, cache_dir, state.attempt,
-                        plan_params,
+                        plan_params, obs_on,
                     )
                     inflight[i] = pool.apply_async(_worker, (task,))
                     state.deadline = (
@@ -1085,7 +1106,10 @@ class SweepRunner:
                     now = time.monotonic()
                     tag = payload[0]
                     if tag == "ok":
-                        _tag, value, was_cached, duration, quar = payload
+                        (_tag, value, was_cached, duration, quar,
+                         events) = payload
+                        if events:
+                            obs.absorb_events(events)
                         finish(i, value, was_cached, duration, quar)
                     elif tag == "crash":
                         fail_or_retry(i, CellCrashed, payload[1], now)

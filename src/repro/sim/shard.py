@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..config import SystemConfig
+from .. import obs
+from ..config import Engine, SystemConfig
 from ..runner import Cell, SweepRunner, register_cell_kind
 from ..vtb.vtb import DESCRIPTOR_ENTRIES, PlacementDescriptor
 from ..workloads.traces import trace_from_spec
@@ -44,6 +45,7 @@ def run_tracesim_cell(
     bank_sets: Optional[int] = None,
     policy: str = "drrip",
     config: Optional[Mapping[str, Any]] = None,
+    engine: str = Engine.FAST,
 ) -> Dict[str, Any]:
     """One complete trace-driven run, described entirely by JSON data.
 
@@ -53,35 +55,55 @@ def run_tracesim_cell(
     ``core_id``) and ``partition`` (a string partition label). Returns
     per-core :class:`~repro.sim.tracesim.TraceStats` as dicts plus the
     aggregate totals the benchmark reports.
+
+    ``engine`` selects the simulator implementation through
+    :class:`repro.config.Engine`: ``"fast"`` is the array-backed
+    :class:`~repro.sim.tracesim.TraceSimulator`, ``"reference"`` the
+    frozen scalar :class:`~repro.sim.reference.ReferenceTraceSimulator`
+    (bit-identical, differentially tested).
     """
-    cfg = SystemConfig(**config) if config else SystemConfig()
-    sim = TraceSimulator(config=cfg, policy=policy, bank_sets=bank_sets)
-    for spec in cores:
-        spec = dict(spec)
-        core_id = spec["core_id"]
-        sim.add_core(
-            core_id,
-            trace_from_spec(spec["trace"]),
-            vc_id=spec.get("vc_id", core_id),
-            descriptor=_descriptor_for_banks(spec["banks"]),
-            partition=spec.get("partition"),
-        )
-    sim.run(rounds)
-    per_core = {
-        str(core): asdict(stats) for core, stats in sim.stats().items()
-    }
-    totals = {
-        "accesses": sum(s["accesses"] for s in per_core.values()),
-        "llc_accesses": sum(
-            s["llc_accesses"] for s in per_core.values()
-        ),
-        "llc_hits": sum(s["llc_hits"] for s in per_core.values()),
-        "llc_misses": sum(s["llc_misses"] for s in per_core.values()),
-        "mem_accesses": sum(
-            s["mem_accesses"] for s in per_core.values()
-        ),
-    }
-    return {"per_core": per_core, "totals": totals}
+    engine = Engine.validate(engine, source="tracesim_run")
+    if engine == Engine.REFERENCE:
+        from .reference import ReferenceTraceSimulator as sim_cls
+    else:
+        sim_cls = TraceSimulator
+    with obs.span(
+        "tracesim.cell",
+        cores=len(cores),
+        rounds=rounds,
+        engine=engine,
+    ):
+        cfg = SystemConfig(**config) if config else SystemConfig()
+        sim = sim_cls(config=cfg, policy=policy, bank_sets=bank_sets)
+        for spec in cores:
+            spec = dict(spec)
+            core_id = spec["core_id"]
+            sim.add_core(
+                core_id,
+                trace_from_spec(spec["trace"]),
+                vc_id=spec.get("vc_id", core_id),
+                descriptor=_descriptor_for_banks(spec["banks"]),
+                partition=spec.get("partition"),
+            )
+        sim.run(rounds)
+        per_core = {
+            str(core): asdict(stats)
+            for core, stats in sim.stats().items()
+        }
+        totals = {
+            "accesses": sum(s["accesses"] for s in per_core.values()),
+            "llc_accesses": sum(
+                s["llc_accesses"] for s in per_core.values()
+            ),
+            "llc_hits": sum(s["llc_hits"] for s in per_core.values()),
+            "llc_misses": sum(
+                s["llc_misses"] for s in per_core.values()
+            ),
+            "mem_accesses": sum(
+                s["mem_accesses"] for s in per_core.values()
+            ),
+        }
+        return {"per_core": per_core, "totals": totals}
 
 
 def shard_tracesim_runs(
