@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test check check-faults bench bench-smoke \
-	bench-tracesim bench-model bench-obs bench-full examples figures \
-	clean
+	bench-tracesim bench-model bench-obs bench-fleet bench-full \
+	examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,7 @@ check:
 	$(MAKE) bench-tracesim
 	$(MAKE) bench-model
 	$(MAKE) bench-obs
+	$(MAKE) bench-fleet
 	$(MAKE) check-faults
 
 # Chaos smoke (seconds, fixed seed): the fault-injection bench suite —
@@ -67,6 +68,16 @@ bench-obs:
 	PYTHONPATH=src $(PYTHON) -m repro bench --suite obs \
 	  --epochs 4 --output BENCH_obs_smoke.json
 
+# Rack-scale fleet gate (seconds, fixed seed): one churn + flash +
+# chip-failure scenario run twice through the hierarchical epoch loop;
+# exits non-zero if the two canonical results differ byte-for-byte or
+# any conservation/capacity/isolation invariant breaks. Writes to a
+# scratch path so the committed default-scale BENCH_fleet.json
+# (regenerate with `python -m repro bench --suite fleet`) survives.
+bench-fleet:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite fleet \
+	  --chips 8 --epochs 6 --output BENCH_fleet_smoke.json
+
 # Paper-scale sweep (40 mixes, 25 epochs) — takes a while.
 bench-full:
 	REPRO_MIXES=40 REPRO_EPOCHS=25 \
@@ -85,5 +96,5 @@ clean:
 	rm -rf results/ .pytest_cache .benchmarks
 	rm -f BENCH_sweeps.json BENCH_tracesim_smoke.json \
 	  BENCH_model_smoke.json BENCH_faults_smoke.json \
-	  BENCH_obs_smoke.json
+	  BENCH_obs_smoke.json BENCH_fleet_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -41,6 +41,7 @@ from .errors import (
     TelemetryInvalid,
 )
 from .faults import FaultPlan
+from . import fleet
 from . import obs
 from .core import (
     Allocation,
@@ -72,6 +73,7 @@ __all__ = [
     "QPS_TABLE",
     "Settings",
     "VmSpec",
+    "fleet",
     "obs",
     "Allocation",
     "AppInfo",

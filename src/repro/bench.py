@@ -50,6 +50,14 @@ Five suites:
   a loadable trace, and two same-seed enabled runs must produce
   identical metric snapshots. Writes ``BENCH_obs.json`` and exits
   non-zero on any gate failure, so ``make bench-obs`` can gate on it.
+
+* ``--suite fleet`` gates the rack-scale layer (``repro.fleet``): one
+  seeded scenario (churn + flash crowds + rack-correlated failures) is
+  run twice end to end; the two canonical results must serialise
+  byte-identically (same-seed determinism), no conservation/capacity/
+  isolation invariant may break in either run, and the report records
+  chip-epochs/s throughput. Writes ``BENCH_fleet.json`` and exits
+  non-zero on any gate failure, so ``make bench-fleet`` can gate on it.
 """
 
 from __future__ import annotations
@@ -79,6 +87,7 @@ __all__ = [
     "run_model_bench",
     "run_faults_bench",
     "run_obs_bench",
+    "run_fleet_bench",
     "add_bench_arguments",
     "cmd_bench",
 ]
@@ -1063,16 +1072,132 @@ def cmd_obs_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_fleet_bench(
+    chips: Optional[int] = None,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    output: Optional[os.PathLike] = None,
+) -> Dict[str, Any]:
+    """Gate the rack-scale fleet layer: determinism + invariants.
+
+    Runs one seeded scenario — diurnal load, Poisson churn, a possible
+    flash crowd, and rack-correlated chip failures — twice end to end:
+
+    * **determinism** — the two canonical results must serialise
+      byte-identically (``FleetResult.to_json``); any wall-clock or
+      iteration-order leak fails the gate.
+    * **invariants** — neither run may record a conservation, capacity,
+      or isolation violation (``FleetResult.ok``).
+    * **throughput** — chip-epochs/s for the slower run is recorded so
+      regressions in the hierarchical epoch loop show up in the report.
+    """
+    from .faults import FaultPlan
+    from .fleet import Scenario, run_fleet
+
+    settings = Settings.from_env()
+    if chips is None:
+        chips = settings.fleet_chips or 32
+    if epochs is None:
+        epochs = settings.fleet_epochs or 10
+    scenario = Scenario(
+        chips=chips,
+        epochs=epochs,
+        seed=seed,
+        flash_prob=0.1,
+        fault_plan=FaultPlan(seed=seed, chip_failure=0.02),
+    )
+
+    runs: List[Dict[str, Any]] = []
+    payloads: List[str] = []
+    for _ in range(2):
+        start = time.perf_counter()
+        result = run_fleet(scenario)
+        wall = time.perf_counter() - start
+        payloads.append(result.to_json())
+        runs.append(
+            {
+                "wall_seconds": wall,
+                "chip_epochs_per_s": chips * epochs / wall,
+                "ok": result.ok,
+                "counters": dict(result.counters),
+                "invariant_violations": list(
+                    result.invariant_violations
+                ),
+            }
+        )
+
+    deterministic = payloads[0] == payloads[1]
+    invariants_ok = all(r["ok"] for r in runs)
+    ok = deterministic and invariants_ok
+    report: Dict[str, Any] = {
+        "version": __version__,
+        "suite": "fleet",
+        "code_fingerprint": code_fingerprint(),
+        "scenario": scenario.as_params(),
+        "runs": runs,
+        "chip_epochs_per_s": min(
+            r["chip_epochs_per_s"] for r in runs
+        ),
+        "determinism": {"identical_results": deterministic},
+        "invariants": {"ok": invariants_ok},
+        "ok": ok,
+    }
+    if output is None:
+        output = "BENCH_fleet.json"
+    path = pathlib.Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    report["output"] = str(path)
+    return report
+
+
+def cmd_fleet_bench(args: argparse.Namespace) -> int:
+    """CLI entry point for ``repro bench --suite fleet``."""
+    output = args.output
+    if output == "BENCH_sweeps.json":
+        output = "BENCH_fleet.json"
+    report = run_fleet_bench(
+        chips=args.chips,
+        epochs=args.epochs,
+        seed=args.fault_seed,
+        output=output,
+    )
+    sc = report["scenario"]
+    print(
+        f"fleet: {sc['chips']} chips x {sc['epochs']} epochs, "
+        f"seed {sc['seed']}"
+    )
+    for i, run in enumerate(report["runs"]):
+        counters = run["counters"]
+        print(
+            f"  run {i}: {run['wall_seconds']:.2f}s "
+            f"({run['chip_epochs_per_s']:.0f} chip-epochs/s), "
+            f"{counters['admissions']} admissions, "
+            f"{counters['migrations']} migrations, "
+            f"{counters['chips_lost']} chips lost, "
+            f"{len(run['invariant_violations'])} violations"
+        )
+    print(
+        f"  deterministic results: "
+        f"{report['determinism']['identical_results']}"
+    )
+    print(f"wrote {report['output']}")
+    if not report["ok"]:
+        print("FLEET SUITE FAILED: see report above")
+        return 1
+    return 0
+
+
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach ``repro bench`` options to a subparser."""
     parser.add_argument(
         "--suite",
-        choices=("sweeps", "tracesim", "model", "faults", "obs"),
+        choices=("sweeps", "tracesim", "model", "faults", "obs",
+                 "fleet"),
         default="sweeps",
         help="what to benchmark: figure sweeps (default), the "
         "trace-simulator fast path, the vectorised epoch engine, "
-        "the fault-injection chaos smoke, or the observability "
-        "overhead gate",
+        "the fault-injection chaos smoke, the observability "
+        "overhead gate, or the rack-scale fleet gate",
     )
     parser.add_argument(
         "--figures",
@@ -1125,7 +1250,15 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "--fault-seed",
         type=int,
         default=0,
-        help="faults suite: FaultPlan seed (default 0)",
+        help="faults/fleet suite: scenario + FaultPlan seed "
+        "(default 0)",
+    )
+    parser.add_argument(
+        "--chips",
+        type=int,
+        default=None,
+        help="fleet suite: sockets in the fleet "
+        "(default REPRO_FLEET_CHIPS or 32)",
     )
 
 
@@ -1139,6 +1272,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return cmd_faults_bench(args)
     if args.suite == "obs":
         return cmd_obs_bench(args)
+    if args.suite == "fleet":
+        return cmd_fleet_bench(args)
     report = run_bench(
         figures=args.figures,
         jobs=args.jobs,

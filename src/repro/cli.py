@@ -5,10 +5,12 @@ Commands:
 * ``designs``              — list the available LLC designs
 * ``run``                  — run one design on one workload, print metrics
 * ``figure <name>``        — regenerate one of the paper's figures/tables
+* ``fleet run``            — rack-scale fleet simulation over many chips
 * ``bench``                — benchmark suites: sweep figures (default),
   the trace-simulator fast path (``--suite tracesim``), the
-  fault-injection chaos smoke (``--suite faults``), or the
-  observability overhead gate (``--suite obs``)
+  fault-injection chaos smoke (``--suite faults``), the observability
+  overhead gate (``--suite obs``), or the fleet gate (``--suite
+  fleet``)
 * ``deadline <app>``       — print an LC app's computed deadline
 * ``report``               — assemble results/ into a single SUMMARY.md
 * ``obs summarize <trace>`` — summarize a captured observability trace
@@ -85,12 +87,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_outputs(fig)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="rack-scale fleet simulation (many chips, one scheduler)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    frun = fleet_sub.add_parser(
+        "run",
+        help="run one seeded fleet scenario and print canonical stats",
+    )
+    frun.add_argument(
+        "--chips", type=int, default=None,
+        help="sockets in the fleet (default: REPRO_FLEET_CHIPS or 64)",
+    )
+    frun.add_argument(
+        "--epochs", type=int, default=None,
+        help="100 ms fleet epochs (default: REPRO_FLEET_EPOCHS or 12)",
+    )
+    frun.add_argument("--seed", type=int, default=0)
+    frun.add_argument(
+        "--design", choices=sorted(DESIGNS), default="Jumanji",
+        help="per-chip LLC design (default Jumanji)",
+    )
+    frun.add_argument(
+        "--initial-tenants", type=int, default=None,
+        help="tenants resident at epoch 0 (default: one per chip)",
+    )
+    frun.add_argument(
+        "--arrival-rate", type=float, default=None,
+        help="mean Poisson arrivals per epoch (default: chips/16)",
+    )
+    frun.add_argument(
+        "--flash-prob", type=float, default=0.0,
+        help="per-epoch probability a flash crowd starts (default 0)",
+    )
+    frun.add_argument(
+        "--chip-failure", type=float, default=0.0,
+        help="per-rack per-epoch failure probability (default 0)",
+    )
+    frun.add_argument(
+        "--rack-size", type=int, default=8,
+        help="chips per failure-correlation rack (default 8)",
+    )
+    frun.add_argument(
+        "--stats-out", default=None, metavar="PATH",
+        help="also write the canonical fleet stats JSON to PATH",
+    )
+    _add_obs_outputs(frun)
+
     from .bench import add_bench_arguments
 
     bench = sub.add_parser(
         "bench",
         help="benchmark suites: sweeps (default), tracesim, model, "
-        "the faults chaos smoke, or the obs overhead gate",
+        "the faults chaos smoke, the obs overhead gate, or the "
+        "fleet gate",
     )
     add_bench_arguments(bench)
 
@@ -258,6 +309,48 @@ def _cmd_deadline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet run``: one seeded scenario, canonical stats out.
+
+    Stdout is exactly the result's canonical JSON — no wall-clock, no
+    unordered iteration — so two same-seed invocations are
+    byte-identical (the acceptance gate). Exits non-zero if any fleet
+    invariant (conservation/capacity/isolation) broke during the run.
+    """
+    import pathlib
+
+    from .config import Settings
+    from .faults import FaultPlan
+    from .fleet import Scenario, run_fleet
+
+    settings = Settings.from_env()
+    chips = args.chips
+    if chips is None:
+        chips = settings.fleet_chips if settings.fleet_chips else 64
+    epochs = args.epochs
+    if epochs is None:
+        epochs = settings.fleet_epochs if settings.fleet_epochs else 12
+    plan = None
+    if args.chip_failure > 0.0:
+        plan = FaultPlan(seed=args.seed, chip_failure=args.chip_failure)
+    scenario = Scenario(
+        chips=chips,
+        epochs=epochs,
+        seed=args.seed,
+        initial_tenants=args.initial_tenants,
+        arrival_rate=args.arrival_rate,
+        flash_prob=args.flash_prob,
+        rack_size=args.rack_size,
+        fault_plan=plan,
+    )
+    result = run_fleet(scenario, design=args.design)
+    stats = result.to_json()
+    print(stats)
+    if args.stats_out:
+        pathlib.Path(args.stats_out).write_text(stats + "\n")
+    return 0 if result.ok else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """``repro obs summarize``: digest a captured trace."""
     from .obs import format_summary, load_trace, summarize
@@ -302,6 +395,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _with_obs_outputs(args, _cmd_run)
     if args.command == "figure":
         return _with_obs_outputs(args, _cmd_figure)
+    if args.command == "fleet":
+        return _with_obs_outputs(args, _cmd_fleet)
     if args.command == "bench":
         from .bench import cmd_bench
 

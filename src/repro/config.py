@@ -281,6 +281,10 @@ class Settings:
     trace: Optional[str] = None
     #: ``REPRO_METRICS`` — default ``--metrics-out`` path for run/figure.
     metrics: Optional[str] = None
+    #: ``REPRO_FLEET_CHIPS`` — default ``repro fleet run`` fleet size.
+    fleet_chips: Optional[int] = None
+    #: ``REPRO_FLEET_EPOCHS`` — default ``repro fleet run`` epoch count.
+    fleet_epochs: Optional[int] = None
 
     @classmethod
     def from_env(
@@ -323,4 +327,6 @@ class Settings:
             cache_dir=_clean(env, "REPRO_CACHE_DIR"),
             trace=_clean(env, "REPRO_TRACE"),
             metrics=_clean(env, "REPRO_METRICS"),
+            fleet_chips=_positive_int(env, "REPRO_FLEET_CHIPS"),
+            fleet_epochs=_positive_int(env, "REPRO_FLEET_EPOCHS"),
         )

@@ -19,8 +19,9 @@ would miss deadlines for whole windows.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Union
 
 from ..config import ControllerConfig, SystemConfig
 from ..errors import TelemetryInvalid
@@ -99,7 +100,14 @@ class FeedbackController:
         self._windows: Dict[str, List[float]] = {}
         self._deadlines: Dict[str, float] = {}
         self._resized_this_epoch: set = set()
-        self.decisions: List[ControllerDecision] = []
+        #: Decision log, ring-buffered when
+        #: ``ControllerConfig.history_limit`` is set — a fleet of
+        #: hundreds of per-chip controllers must not each grow an
+        #: unbounded list over million-epoch runs.
+        limit = self.config.history_limit
+        self.decisions: "Union[List[ControllerDecision], Deque[ControllerDecision]]" = (
+            deque(maxlen=limit) if limit is not None else []
+        )
 
     # -- registration -------------------------------------------------------------
 
@@ -114,6 +122,21 @@ class FeedbackController:
         self._deadlines[app] = deadline
         self._sizes.setdefault(app, self.initial_size_mb)
         self._windows.setdefault(app, [])
+
+    def unregister(self, app: str) -> None:
+        """Forget an LC app entirely (tenant departure/migration).
+
+        Removes its deadline, sizing target, and latency window so a
+        departed tenant's ghost size never reaches the placer via
+        :meth:`sizes`. Unknown apps raise ``KeyError`` — silently
+        ignoring a bad id would hide scheduler bookkeeping bugs.
+        """
+        if app not in self._deadlines:
+            raise KeyError(f"app {app!r} not registered")
+        del self._deadlines[app]
+        self._sizes.pop(app, None)
+        self._windows.pop(app, None)
+        self._resized_this_epoch.discard(app)
 
     def registered(self) -> List[str]:
         """Names of registered LC apps, sorted."""

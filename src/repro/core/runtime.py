@@ -140,8 +140,14 @@ class JumanjiRuntime:
         #: works even with ``history_limit=1`` under churn.
         self.last_record: Optional[ReconfigRecord] = None
         #: Structured degraded-mode events (telemetry drops, placer
-        #: fallbacks), newest last.
-        self.events: List[Dict[str, Any]] = []
+        #: fallbacks), newest last. Ring-buffered alongside ``history``
+        #: when ``history_limit`` is set: a fleet of hundreds of
+        #: runtimes fed faulty telemetry would otherwise grow one
+        #: unbounded list per chip (each ``telemetry_invalid`` sample
+        #: appends an entry).
+        self.events: Union[List[Dict[str, Any]], deque] = (
+            deque(maxlen=limit) if limit is not None else []
+        )
 
     # -- degraded-mode plumbing ---------------------------------------------------
 

@@ -30,7 +30,11 @@ Injection sites (all probabilities in ``[0, 1]``, default 0 = off):
   flipped, to exercise checksum quarantine on the next read;
 * ``telemetry_nan`` / ``telemetry_negative`` / ``telemetry_drop`` —
   degrade tail-latency samples fed to the runtime (NaN, negated, or
-  dropped entirely).
+  dropped entirely);
+* ``chip_failure``   — a whole simulated chip (socket) dies mid-run.
+  The fleet layer rolls this once per *rack* per epoch, so failures are
+  correlated: one decision takes out every chip in the blast radius,
+  exactly like a failed PDU or ToR switch.
 """
 
 from __future__ import annotations
@@ -62,6 +66,7 @@ FAULT_SITES = (
     "telemetry_nan",
     "telemetry_negative",
     "telemetry_drop",
+    "chip_failure",
 )
 
 
@@ -78,6 +83,7 @@ class FaultPlan:
     telemetry_nan: float = 0.0
     telemetry_negative: float = 0.0
     telemetry_drop: float = 0.0
+    chip_failure: float = 0.0
     #: How long a ``cell_stall`` fault sleeps (seconds).
     stall_seconds: float = 5.0
 

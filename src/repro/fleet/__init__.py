@@ -1,0 +1,63 @@
+"""repro.fleet: rack-scale simulation over many Jumanji chips.
+
+The paper evaluates one 20-core socket; ROADMAP item 1 asks what its
+100 ms loop looks like *hierarchically* — a cluster scheduler admitting
+and migrating tenant VMs across hundreds of sockets, each running its
+own Jumanji runtime underneath. This package provides exactly that
+layer:
+
+* :class:`~repro.fleet.scenarios.Scenario` — a seeded, JSON-canonical
+  description of one fleet run (diurnal load, Poisson churn, flash
+  crowds, rack-correlated failures via
+  :class:`~repro.faults.FaultPlan`);
+* :class:`~repro.fleet.chip.FleetChip` — one socket: capacity
+  accounting plus a long-lived
+  :class:`~repro.core.runtime.JumanjiRuntime` under tenant churn;
+* :class:`~repro.fleet.cluster.Fleet` — the hierarchical epoch loop
+  (failures -> departures -> arrivals -> per-socket ticks ->
+  migrations), with per-epoch conservation/capacity audits and
+  per-placement isolation checks;
+* :func:`~repro.fleet.cluster.run_fleet` — scenario in, canonical
+  :class:`~repro.fleet.cluster.FleetResult` out.
+
+Quick start::
+
+    from repro.fleet import Scenario, run_fleet
+
+    result = run_fleet(Scenario(chips=64, epochs=12, seed=7))
+    assert result.ok                  # no invariant broke
+    print(result.counters["migrations"], "migrations")
+
+``repro fleet run`` wraps the same entry point on the CLI, and
+``repro bench --suite fleet`` gates throughput, same-seed determinism,
+and the invariants.
+"""
+
+from .chip import (
+    FleetChip,
+    TenantVM,
+    chip_deadline_cycles,
+    small_chip_config,
+)
+from .cluster import (
+    ClusterScheduler,
+    Fleet,
+    FleetEpochStats,
+    FleetResult,
+    run_fleet,
+)
+from .scenarios import Scenario, TenantSpec
+
+__all__ = [
+    "ClusterScheduler",
+    "Fleet",
+    "FleetChip",
+    "FleetEpochStats",
+    "FleetResult",
+    "Scenario",
+    "TenantSpec",
+    "TenantVM",
+    "chip_deadline_cycles",
+    "run_fleet",
+    "small_chip_config",
+]

@@ -1,0 +1,372 @@
+"""One socket of the fleet: a Jumanji runtime under tenant churn.
+
+:class:`FleetChip` is the per-socket half of the hierarchical loop. It
+owns one long-lived :class:`~repro.core.runtime.JumanjiRuntime` (with
+placement memoisation and a bounded history, since a fleet holds
+hundreds of these) and replays the same per-epoch sequence as
+:class:`~repro.model.system.SystemModel`'s LC path — reconfigure, then
+advance each tenant's queueing simulator under the service time its
+current allocation implies, feeding completions back to the controller.
+
+Unlike ``SystemModel``, whose workload is fixed at construction, a chip
+is *mutable*: tenants are admitted, released, and migrated while the
+runtime (and its controller state) persists. The context builder closes
+over the chip's current :class:`~repro.model.workload.WorkloadSpec`,
+which is rebuilt on every churn event; the controller is told about
+departures via :meth:`~repro.core.controller.FeedbackController.
+unregister` so a departed tenant's ghost size never reaches the placer.
+
+Capacity is two-dimensional, matching what the no-shared-banks
+invariant actually requires: a tenant needs one core per app, and each
+VM needs at least one private LLC bank, so a chip holds at most
+``num_banks`` tenants regardless of spare cores.
+
+Queueing-simulator state is the one thing that travels: on *migration*
+the fleet carries the tenant's simulator (backlog and all) to the new
+socket; on *chip failure* the state is lost and a rescheduled tenant
+starts a fresh simulator, exactly like a real failover.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..config import (
+    RECONFIG_INTERVAL_CYCLES,
+    ControllerConfig,
+    SystemConfig,
+    VmSpec,
+)
+from ..core.designs import LlcDesign, make_design
+from ..core.runtime import JumanjiRuntime
+from ..errors import ConfigError
+from ..model.params import DEFAULT_PARAMS
+from ..model.performance import lc_service_cycles, snuca_avg_rtt
+from ..model.workload import WorkloadSpec
+from ..noc.mesh import MeshNoc
+from ..sim.queueing import LcRequestSimulator, percentile
+from ..workloads.tailbench import get_lc_profile
+
+__all__ = [
+    "FleetChip",
+    "TenantVM",
+    "chip_deadline_cycles",
+    "small_chip_config",
+]
+
+
+@functools.lru_cache(maxsize=256)
+def chip_deadline_cycles(lc_name: str, config: SystemConfig) -> float:
+    """Deadline for an LC app *on this chip's hardware*.
+
+    Same methodology as
+    :func:`~repro.model.system.compute_deadline_cycles` — p95 latency
+    in isolation at high load with four LLC ways under way-partitioned
+    S-NUCA, windowed the way the controller measures — but evaluated on
+    the chip's own configuration. Fleet sockets are smaller than the
+    paper's 20-core machine, so a deadline computed there (with a
+    2.5 MB reference slice the small LLC cannot hold) would read as a
+    permanent ~10x violation on every tenant; what SLAs promise is
+    behaviour relative to the hardware the VM rented. Cached per
+    (app, config): ``SystemConfig`` is frozen/hashable and a fleet uses
+    one config for all chips.
+    """
+    profile = get_lc_profile(lc_name)
+    noc = MeshNoc(config)
+    rtt = snuca_avg_rtt(0, noc)
+    # Four ways of each bank, chip-wide: the paper's reference slice
+    # (equals REFERENCE_ALLOC_MB = 2.5 MB on the 20-bank machine).
+    ref_mb = config.llc_size_mb * 4.0 / config.llc_bank_ways
+    service = lc_service_cycles(
+        profile, ref_mb, rtt, 4.0, config, DEFAULT_PARAMS
+    )
+    sim = LcRequestSimulator(
+        qps=profile.qps.high_qps,
+        service_cv=profile.service_cv,
+        seed=12345,
+    )
+    latencies: List[float] = []
+    for _ in range(40):
+        result = sim.run_epoch(RECONFIG_INTERVAL_CYCLES, service)
+        latencies.extend(result.latencies_cycles)
+    window = 21
+    tails = [
+        percentile(latencies[i : i + window], 95.0)
+        for i in range(0, len(latencies) - window + 1, window)
+    ]
+    return sum(tails) / len(tails)
+
+
+def small_chip_config() -> SystemConfig:
+    """The fleet's default socket: a 2x2 mesh (4 cores, 4 MB LLC).
+
+    Small enough that a 256-chip fleet ticks in seconds, while still
+    exercising real placement (four banks force genuine isolation and
+    proximity decisions).
+    """
+    return SystemConfig(
+        num_cores=4, mesh_cols=2, mesh_rows=2, num_mem_ctrls=4
+    )
+
+
+@dataclass(frozen=True)
+class TenantVM:
+    """One admitted tenant: an LC app plus optional batch riders."""
+
+    tenant_id: int
+    lc_app: str
+    batch_apps: Tuple[str, ...]
+    arrival_epoch: int
+    lifetime_epochs: int
+
+    @property
+    def cores_needed(self) -> int:
+        """One core per app (LC first, then batch — VmSpec order)."""
+        return 1 + len(self.batch_apps)
+
+    @property
+    def lc_instance(self) -> str:
+        """Fleet-unique LC instance id (``base_app`` splits on '#')."""
+        return f"{self.lc_app}#t{self.tenant_id}"
+
+    @property
+    def batch_instances(self) -> Tuple[str, ...]:
+        """Fleet-unique batch instance ids."""
+        return tuple(
+            f"{app}#t{self.tenant_id}b{j}"
+            for j, app in enumerate(self.batch_apps)
+        )
+
+    @property
+    def departs_at(self) -> int:
+        """First epoch the tenant is no longer resident."""
+        return self.arrival_epoch + self.lifetime_epochs
+
+
+class FleetChip:
+    """One simulated socket: capacity accounting + a Jumanji runtime."""
+
+    def __init__(
+        self,
+        chip_id: int,
+        config: Optional[SystemConfig] = None,
+        design: Union[str, LlcDesign] = "Jumanji",
+        seed: int = 0,
+        noc: Optional[MeshNoc] = None,
+        history_limit: int = 64,
+    ):
+        self.chip_id = chip_id
+        self.config = config if config is not None else small_chip_config()
+        self.design = (
+            make_design(design) if isinstance(design, str) else design
+        )
+        self.seed = seed
+        # Mesh distance tables are pure functions of the config; the
+        # fleet shares one MeshNoc across all same-config chips.
+        self.noc = noc if noc is not None else MeshNoc(self.config)
+        self.alive = True
+        self.epoch_cycles = RECONFIG_INTERVAL_CYCLES
+        self.tenants: Dict[int, TenantVM] = {}
+        self._cores: Dict[int, Tuple[int, ...]] = {}
+        self._free_cores: List[int] = list(range(self.config.num_cores))
+        self._sims: Dict[int, LcRequestSimulator] = {}
+        self._deadlines: Dict[int, float] = {}
+        self._spec: Optional[WorkloadSpec] = None
+        initial_lc_mb = (
+            self.config.llc_size_mb * ControllerConfig().panic_fraction
+        )
+        self.runtime = JumanjiRuntime(
+            self.design,
+            self.config,
+            context_builder=self._build_context,
+            controller_config=ControllerConfig(
+                history_limit=history_limit
+            ),
+            initial_lc_size_mb=initial_lc_mb,
+            seed=seed,
+            memoize_placement=True,
+        )
+
+    # -- capacity -------------------------------------------------------------
+
+    @property
+    def free_cores(self) -> int:
+        """Unassigned cores."""
+        return len(self._free_cores)
+
+    @property
+    def used_cores(self) -> int:
+        """Cores assigned to resident tenants."""
+        return self.config.num_cores - len(self._free_cores)
+
+    def can_admit(self, vm: TenantVM) -> bool:
+        """Whether the chip has room: cores, plus one private bank per
+        VM (the no-shared-banks invariant's hard floor)."""
+        return (
+            self.alive
+            and vm.cores_needed <= self.free_cores
+            and len(self.tenants) + 1 <= self.config.num_banks
+        )
+
+    # -- churn ----------------------------------------------------------------
+
+    def admit(
+        self, vm: TenantVM, sim: Optional[LcRequestSimulator] = None
+    ) -> None:
+        """Place a tenant on this chip.
+
+        ``sim`` carries queueing state across a migration; omitted, a
+        fresh deterministic simulator is built (new tenants, and
+        failure reschedules — a dead chip's state is lost).
+        """
+        if not self.can_admit(vm):
+            raise ConfigError(
+                f"chip {self.chip_id} cannot admit tenant "
+                f"{vm.tenant_id}: {self.free_cores} free cores, "
+                f"{len(self.tenants)}/{self.config.num_banks} VM slots"
+            )
+        if vm.tenant_id in self.tenants:
+            raise ConfigError(
+                f"tenant {vm.tenant_id} already on chip {self.chip_id}"
+            )
+        cores = tuple(self._free_cores[: vm.cores_needed])
+        del self._free_cores[: vm.cores_needed]
+        self.tenants[vm.tenant_id] = vm
+        self._cores[vm.tenant_id] = cores
+        profile = get_lc_profile(vm.lc_app)
+        deadline = chip_deadline_cycles(vm.lc_app, self.config)
+        self._deadlines[vm.tenant_id] = deadline
+        self.runtime.register_lc_app(vm.lc_instance, deadline)
+        if sim is None:
+            sim = LcRequestSimulator(
+                qps=profile.qps_at("high"),
+                service_cv=profile.service_cv,
+                seed=self.seed * 1_000_003 + vm.tenant_id,
+            )
+        self._sims[vm.tenant_id] = sim
+        self._rebuild_spec()
+
+    def release(
+        self, tenant_id: int
+    ) -> Tuple[TenantVM, LcRequestSimulator]:
+        """Remove a tenant (departure or migration source).
+
+        Returns the tenant and its queueing simulator so a migration
+        can carry the backlog to the destination socket.
+        """
+        try:
+            vm = self.tenants.pop(tenant_id)
+        except KeyError:
+            raise KeyError(
+                f"tenant {tenant_id} not on chip {self.chip_id}"
+            ) from None
+        cores = self._cores.pop(tenant_id)
+        self._free_cores = sorted(self._free_cores + list(cores))
+        sim = self._sims.pop(tenant_id)
+        self._deadlines.pop(tenant_id)
+        self.runtime.controller.unregister(vm.lc_instance)
+        self._rebuild_spec()
+        return vm, sim
+
+    def fail(self) -> List[TenantVM]:
+        """Kill the chip; returns its tenants for rescheduling.
+
+        All per-socket state (queueing backlog, controller windows,
+        placement history) dies with the hardware — rescheduled tenants
+        restart cold elsewhere.
+        """
+        self.alive = False
+        displaced = [self.tenants[t] for t in sorted(self.tenants)]
+        self.tenants.clear()
+        self._cores.clear()
+        self._sims.clear()
+        self._deadlines.clear()
+        self._free_cores = list(range(self.config.num_cores))
+        self._spec = None
+        return displaced
+
+    def _rebuild_spec(self) -> None:
+        if not self.tenants:
+            self._spec = None
+            return
+        vms = []
+        for tid in sorted(self.tenants):
+            vm = self.tenants[tid]
+            vms.append(
+                VmSpec(
+                    vm_id=tid,
+                    cores=self._cores[tid],
+                    lc_apps=(vm.lc_instance,),
+                    batch_apps=vm.batch_instances,
+                )
+            )
+        self._spec = WorkloadSpec(
+            config=self.config, vms=vms, load="high"
+        )
+
+    def _build_context(self, sizes: Mapping[str, float]):
+        # Only reached from reconfigure(), which tick() guards behind
+        # a non-empty tenant set.
+        assert self._spec is not None
+        return self._spec.build_context(dict(sizes), self.noc)
+
+    # -- the per-socket epoch -------------------------------------------------
+
+    def tick(self, epoch: int, load_factor: float = 1.0) -> Dict[int, float]:
+        """Run one 100 ms epoch; returns tenant -> tail/deadline ratio.
+
+        Mirrors ``SystemModel``'s LC path: reconfigure, then advance
+        each tenant's request stream at ``load_factor`` x its high-load
+        QPS under the service time its current allocation implies,
+        reporting completions to the feedback controller. A tenant with
+        no completions this epoch reports ratio 0.0 (no evidence of
+        violation). Validates the no-shared-banks invariant on every
+        freshly placed allocation.
+        """
+        if not self.alive:
+            raise ConfigError(f"chip {self.chip_id} is dead")
+        if not self.tenants:
+            return {}
+        record = self.runtime.reconfigure()
+        alloc = record.allocation
+        spec = self._spec
+        assert spec is not None
+        ratios: Dict[int, float] = {}
+        for tid in sorted(self.tenants):
+            vm = self.tenants[tid]
+            app = vm.lc_instance
+            profile = spec.lc_profile(app)
+            size = alloc.app_size(app)
+            tile = spec.tile_of(app)
+            if alloc.app_banks(app):
+                noc_rtt = alloc.avg_noc_rtt(app, tile, self.noc)
+                ways = alloc.ways_per_bank(app)
+            else:
+                # Degraded fallback installed before this tenant
+                # existed: serve at S-NUCA distance until the next
+                # successful placement covers it.
+                noc_rtt = snuca_avg_rtt(tile, self.noc)
+                ways = float(self.config.llc_bank_ways)
+            service = lc_service_cycles(
+                profile, size, noc_rtt, ways, self.config, spec.params
+            )
+            qps = max(spec.qps_of(app) * load_factor, 1e-6)
+            result = self._sims[tid].run_epoch(
+                self.epoch_cycles, service, qps=qps
+            )
+            lats = list(result.latencies_cycles)
+            if self.design.uses_feedback:
+                self.runtime.report_latencies(app, lats)
+            if lats:
+                tail = percentile(lats, 95.0)
+                ratios[tid] = tail / self._deadlines[tid]
+            else:
+                ratios[tid] = 0.0
+        if not record.degraded:
+            vm_map = {
+                a: spec.vm_of(a) for v in spec.vms for a in v.apps
+            }
+            alloc.validate_isolation(vm_map)
+        return ratios

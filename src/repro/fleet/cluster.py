@@ -1,0 +1,461 @@
+"""The rack-level half of the hierarchical loop: Fleet + scheduler.
+
+A :class:`Fleet` holds hundreds of :class:`~repro.fleet.chip.FleetChip`
+sockets behind a :class:`ClusterScheduler` and runs one hierarchical
+epoch loop per 100 ms tick:
+
+1. **failures** — rack-correlated chip deaths from the scenario's
+   :class:`~repro.faults.FaultPlan`; displaced tenants are rescheduled
+   cold onto surviving sockets (``fleet.chips_lost`` /
+   ``fleet.vms_rescheduled``);
+2. **departures** — tenants whose lifetime expired release their cores;
+3. **arrivals** — Poisson churn plus flash crowds, admitted
+   least-loaded-first against per-socket core/bank capacity
+   (``fleet.admissions`` / ``fleet.rejections``);
+4. **ticks** — every live socket runs its own Jumanji reconfiguration
+   and queueing epoch under the diurnal load factor; tail/deadline
+   ratios feed the fleet p95 histogram (``fleet.lc_tail_vs_deadline``)
+   and the SLA accounting;
+5. **migrations** — a tenant violating its SLA for
+   ``migration_patience`` consecutive epochs is moved (queueing backlog
+   and all) to the least-loaded other socket with room
+   (``fleet.migrations`` / ``fleet.migration_rejected``).
+
+Every epoch ends with an invariant audit — conservation (each admitted
+tenant on exactly one live chip, registry and chips agreeing), capacity
+(no chip over its core or bank budget) — and every fresh per-chip
+placement is isolation-checked in :meth:`FleetChip.tick`. Violations
+are collected into the result (and fail the bench gate) rather than
+silently dropped.
+
+Determinism contract: :class:`FleetResult` contains no wall-clock and
+no unordered iteration — two same-seed runs serialise byte-identically
+(the CLI and ``repro bench --suite fleet`` gate on exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from .. import obs
+from ..config import SystemConfig
+from ..errors import AllocationInvalid, ConfigError
+from ..noc.mesh import MeshNoc
+from ..sim.queueing import percentile
+from .chip import FleetChip, TenantVM, small_chip_config
+from .scenarios import Scenario, TenantSpec
+
+__all__ = [
+    "ClusterScheduler",
+    "Fleet",
+    "FleetEpochStats",
+    "FleetResult",
+    "run_fleet",
+]
+
+#: Ratios are clamped here before entering stats/histograms so a
+#: blown-up queueing backlog cannot push non-finite values into the
+#: canonical JSON.
+RATIO_CLAMP = 1e6
+
+#: Every fleet-level counter, in reporting order.
+FLEET_COUNTERS = (
+    "admissions",
+    "rejections",
+    "departures",
+    "migrations",
+    "migration_rejected",
+    "sla_violations",
+    "chips_lost",
+    "vms_rescheduled",
+    "reschedule_failed",
+)
+
+
+class ClusterScheduler:
+    """Least-loaded-first placement over the live sockets.
+
+    Deterministic: chips are scanned in id order and the first chip
+    with the strictly largest number of free cores wins, so ties break
+    toward the lowest chip id.
+    """
+
+    def select(
+        self, vm: TenantVM, chips: List[FleetChip]
+    ) -> Optional[FleetChip]:
+        """The chip to place ``vm`` on, or ``None`` if the fleet is full."""
+        best: Optional[FleetChip] = None
+        for chip in chips:
+            if not chip.can_admit(vm):
+                continue
+            if best is None or chip.free_cores > best.free_cores:
+                best = chip
+        return best
+
+
+@dataclass
+class FleetEpochStats:
+    """Fleet-level observables for one epoch (counter deltas + tails)."""
+
+    epoch: int
+    load_factor: float
+    live_chips: int
+    tenants: int
+    admissions: int
+    rejections: int
+    departures: int
+    migrations: int
+    migration_rejected: int
+    sla_violations: int
+    chips_lost: int
+    vms_rescheduled: int
+    reschedule_failed: int
+    mean_ratio: float
+    p95_ratio: float
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced, JSON-canonically."""
+
+    scenario: Dict[str, Any]
+    design: str
+    counters: Dict[str, int]
+    epochs: List[FleetEpochStats]
+    invariant_violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant broke anywhere in the run."""
+        return not self.invariant_violations
+
+    def canonical(self) -> Dict[str, Any]:
+        """Plain-data form with deterministic content and ordering."""
+        return {
+            "scenario": self.scenario,
+            "design": self.design,
+            "counters": dict(self.counters),
+            "epochs": [asdict(e) for e in self.epochs],
+            "invariant_violations": list(self.invariant_violations),
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        """The canonical form as a stable JSON string (the byte-identity
+        surface the determinism gates compare)."""
+        return json.dumps(self.canonical(), sort_keys=True, indent=2)
+
+
+class Fleet:
+    """Hundreds of chips, one scheduler, one hierarchical epoch loop.
+
+    Drive it either with :meth:`run` (the whole scenario in one call)
+    or incrementally — :meth:`setup` once, then :meth:`step` per epoch,
+    then :meth:`result` — which is how the fault tests observe tenant
+    placement mid-run.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        design: str = "Jumanji",
+        chip_config: Optional[SystemConfig] = None,
+        scheduler: Optional[ClusterScheduler] = None,
+    ):
+        self.scenario = scenario
+        self.design_name = design
+        config = (
+            chip_config if chip_config is not None else small_chip_config()
+        )
+        noc = MeshNoc(config)
+        self.chips = [
+            FleetChip(
+                chip_id,
+                config=config,
+                design=design,
+                seed=scenario.seed * 1_000_003 + chip_id,
+                noc=noc,
+            )
+            for chip_id in range(scenario.chips)
+        ]
+        self.scheduler = (
+            scheduler if scheduler is not None else ClusterScheduler()
+        )
+        self.counters: Dict[str, int] = {c: 0 for c in FLEET_COUNTERS}
+        #: tenant id -> chip id, the scheduler's source of truth.
+        self.tenant_chip: Dict[int, int] = {}
+        self._tenant_meta: Dict[int, TenantVM] = {}
+        self._strikes: Dict[int, int] = {}
+        self._next_tenant = 0
+        self._epoch_stats: List[FleetEpochStats] = []
+        self._violations: List[str] = []
+        self._setup_done = False
+
+    # -- counters -------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        obs.counter_inc(f"fleet.{name}", amount)
+
+    # -- placement ------------------------------------------------------------
+
+    def _live_chips(self) -> List[FleetChip]:
+        return [c for c in self.chips if c.alive]
+
+    def _admit(self, spec: TenantSpec, epoch: int) -> bool:
+        """Admit one arriving tenant; False when the fleet is full."""
+        tenant_id = self._next_tenant
+        self._next_tenant += 1
+        vm = TenantVM(
+            tenant_id=tenant_id,
+            lc_app=spec.lc_app,
+            batch_apps=spec.batch_apps,
+            arrival_epoch=epoch,
+            lifetime_epochs=spec.lifetime_epochs,
+        )
+        chip = self.scheduler.select(vm, self.chips)
+        if chip is None:
+            self._count("rejections")
+            return False
+        with obs.span(
+            "fleet.admit", tenant=tenant_id, chip=chip.chip_id
+        ):
+            chip.admit(vm)
+        self.tenant_chip[tenant_id] = chip.chip_id
+        self._tenant_meta[tenant_id] = vm
+        self._count("admissions")
+        return True
+
+    def _reschedule(self, vm: TenantVM) -> bool:
+        """Re-place a tenant displaced by a chip failure (fresh state)."""
+        chip = self.scheduler.select(vm, self.chips)
+        if chip is None:
+            # Nowhere to go: the tenant is lost, not left dangling.
+            self._tenant_meta.pop(vm.tenant_id, None)
+            self._strikes.pop(vm.tenant_id, None)
+            self._count("reschedule_failed")
+            return False
+        with obs.span(
+            "fleet.admit",
+            tenant=vm.tenant_id,
+            chip=chip.chip_id,
+            rescheduled=True,
+        ):
+            chip.admit(vm)
+        self.tenant_chip[vm.tenant_id] = chip.chip_id
+        self._count("vms_rescheduled")
+        return True
+
+    def _migrate(self, tenant_id: int) -> bool:
+        """Move a persistently violating tenant to a less-loaded socket."""
+        src = self.chips[self.tenant_chip[tenant_id]]
+        vm = self._tenant_meta[tenant_id]
+        target = self.scheduler.select(
+            vm, [c for c in self.chips if c.chip_id != src.chip_id]
+        )
+        if target is None:
+            self._count("migration_rejected")
+            return False
+        with obs.span(
+            "fleet.migrate",
+            tenant=tenant_id,
+            src=src.chip_id,
+            dst=target.chip_id,
+        ):
+            _, sim = src.release(tenant_id)
+            target.admit(vm, sim=sim)
+        self.tenant_chip[tenant_id] = target.chip_id
+        self._count("migrations")
+        return True
+
+    # -- the hierarchical loop ------------------------------------------------
+
+    def setup(self) -> None:
+        """Admit the scenario's initial tenants (idempotent guard)."""
+        if self._setup_done:
+            raise ConfigError("fleet already set up; build a new Fleet")
+        self._setup_done = True
+        for spec in self.scenario.initial_tenant_specs():
+            self._admit(spec, 0)
+
+    def step(self, epoch: int) -> FleetEpochStats:
+        """One fleet epoch: failures, churn, chip ticks, migrations."""
+        if not self._setup_done:
+            raise ConfigError("call setup() before step()")
+        sc = self.scenario
+        before = dict(self.counters)
+        with obs.span("fleet.tick", epoch=epoch):
+            # 1. Correlated chip failures. A rack dies as one event:
+            #    every failing chip is dead before any displaced
+            #    tenant is re-placed, so nobody is "rescued" onto a
+            #    socket that is about to fail this same epoch.
+            displaced: List[TenantVM] = []
+            for chip_id in sc.chip_failures(epoch):
+                chip = self.chips[chip_id]
+                if not chip.alive:
+                    continue
+                displaced.extend(chip.fail())
+                self._count("chips_lost")
+            for vm in displaced:
+                del self.tenant_chip[vm.tenant_id]
+                self._strikes.pop(vm.tenant_id, None)
+            for vm in displaced:
+                self._reschedule(vm)
+            # 2. Lifetime-expired departures.
+            for tenant_id in sorted(self.tenant_chip):
+                vm = self._tenant_meta[tenant_id]
+                if vm.departs_at <= epoch:
+                    chip = self.chips[self.tenant_chip.pop(tenant_id)]
+                    chip.release(tenant_id)
+                    self._tenant_meta.pop(tenant_id)
+                    self._strikes.pop(tenant_id, None)
+                    self._count("departures")
+            # 3. Poisson arrivals (flash-boosted).
+            for spec in sc.arrivals(epoch):
+                self._admit(spec, epoch)
+            # 4. Per-socket Jumanji epochs under the diurnal load.
+            load = sc.load_factor(epoch)
+            ratios: Dict[int, float] = {}
+            for chip in self.chips:
+                if not chip.alive or not chip.tenants:
+                    continue
+                try:
+                    chip_ratios = chip.tick(epoch, load)
+                except AllocationInvalid as exc:
+                    self._violations.append(
+                        f"epoch {epoch}: chip {chip.chip_id} broke "
+                        f"isolation: {exc}"
+                    )
+                    continue
+                ratios.update(chip_ratios)
+            # 5. SLA accounting + strike-driven migrations.
+            for tenant_id in sorted(ratios):
+                ratio = min(ratios[tenant_id], RATIO_CLAMP)
+                ratios[tenant_id] = ratio
+                obs.observe(
+                    "fleet.lc_tail_vs_deadline",
+                    ratio,
+                    edges=obs.RATIO_EDGES,
+                )
+                if ratio > sc.sla_threshold:
+                    self._count("sla_violations")
+                    self._strikes[tenant_id] = (
+                        self._strikes.get(tenant_id, 0) + 1
+                    )
+                else:
+                    self._strikes[tenant_id] = 0
+            for tenant_id in sorted(ratios):
+                if (
+                    self._strikes.get(tenant_id, 0)
+                    >= sc.migration_patience
+                    and tenant_id in self.tenant_chip
+                ):
+                    self._migrate(tenant_id)
+                    self._strikes[tenant_id] = 0
+        self._violations.extend(self.audit(epoch))
+        values = [ratios[t] for t in sorted(ratios)]
+        live = len(self._live_chips())
+        obs.gauge_set("fleet.tenants", len(self.tenant_chip))
+        obs.gauge_set("fleet.live_chips", live)
+        stats = FleetEpochStats(
+            epoch=epoch,
+            load_factor=load,
+            live_chips=live,
+            tenants=len(self.tenant_chip),
+            mean_ratio=(sum(values) / len(values)) if values else 0.0,
+            p95_ratio=percentile(values, 95.0) if values else 0.0,
+            **{
+                name: self.counters[name] - before[name]
+                for name in FLEET_COUNTERS
+            },
+        )
+        self._epoch_stats.append(stats)
+        return stats
+
+    def audit(self, epoch: int) -> List[str]:
+        """Check conservation and capacity; returns violation strings.
+
+        Conservation: every admitted tenant is on exactly one live
+        chip, and the scheduler's registry agrees with the chips' own
+        books. Capacity: no chip over its core count or its one-bank-
+        per-VM budget. (Isolation is validated per-placement inside
+        :meth:`FleetChip.tick`.)
+        """
+        problems: List[str] = []
+        seen: Dict[int, int] = {}
+        for chip in self.chips:
+            for tenant_id in chip.tenants:
+                if not chip.alive:
+                    problems.append(
+                        f"epoch {epoch}: dead chip {chip.chip_id} "
+                        f"still holds tenant {tenant_id}"
+                    )
+                if tenant_id in seen:
+                    problems.append(
+                        f"epoch {epoch}: tenant {tenant_id} on chips "
+                        f"{seen[tenant_id]} and {chip.chip_id}"
+                    )
+                seen[tenant_id] = chip.chip_id
+        if seen != self.tenant_chip:
+            missing = sorted(set(self.tenant_chip) - set(seen))
+            extra = sorted(set(seen) - set(self.tenant_chip))
+            moved = sorted(
+                t
+                for t in set(seen) & set(self.tenant_chip)
+                if seen[t] != self.tenant_chip[t]
+            )
+            problems.append(
+                f"epoch {epoch}: registry/chip divergence "
+                f"(missing={missing}, extra={extra}, moved={moved})"
+            )
+        for chip in self.chips:
+            used = sum(
+                chip.tenants[t].cores_needed for t in chip.tenants
+            )
+            if used != chip.used_cores:
+                problems.append(
+                    f"epoch {epoch}: chip {chip.chip_id} core "
+                    f"accounting drift ({used} != {chip.used_cores})"
+                )
+            if used > chip.config.num_cores:
+                problems.append(
+                    f"epoch {epoch}: chip {chip.chip_id} over core "
+                    f"budget ({used}/{chip.config.num_cores})"
+                )
+            if len(chip.tenants) > chip.config.num_banks:
+                problems.append(
+                    f"epoch {epoch}: chip {chip.chip_id} over bank "
+                    f"budget ({len(chip.tenants)}/"
+                    f"{chip.config.num_banks} VMs)"
+                )
+        return problems
+
+    def result(self) -> FleetResult:
+        """The run so far as a canonical, comparable result."""
+        return FleetResult(
+            scenario=self.scenario.as_params(),
+            design=self.design_name,
+            counters=dict(self.counters),
+            epochs=list(self._epoch_stats),
+            invariant_violations=list(self._violations),
+        )
+
+    def run(self) -> FleetResult:
+        """The whole scenario in one call."""
+        self.setup()
+        for epoch in range(self.scenario.epochs):
+            self.step(epoch)
+        return self.result()
+
+
+def run_fleet(
+    scenario: Scenario,
+    design: str = "Jumanji",
+    chip_config: Optional[SystemConfig] = None,
+) -> FleetResult:
+    """Build a fleet for ``scenario`` and run it end to end."""
+    return Fleet(
+        scenario, design=design, chip_config=chip_config
+    ).run()

@@ -193,16 +193,27 @@ class TestCacheCorruption:
 
 class TestRetries:
     def test_injected_errors_converge_serial(self, tmp_path):
-        plan = FaultPlan(seed=4, cell_error=0.6)
-        runner = SweepRunner(
-            jobs=1, cache=ResultCache(tmp_path), fault_plan=plan,
-            policy=_fast_policy(),
-        )
-        assert runner.map(_cells()) == _expected()
-        assert runner.stats.retries > 0
-        assert any(
-            e["event"] == "cell_retry" for e in runner.events
-        )
+        # Fault rolls hash the code fingerprint (see the parallel
+        # variant below), so a single pinned seed can exhaust a cell's
+        # retries after unrelated source changes; use the same
+        # multi-seed moderate-probability pattern instead.
+        retries = 0
+        retry_events = 0
+        for plan_seed in range(4, 8):
+            plan = FaultPlan(seed=plan_seed, cell_error=0.3)
+            runner = SweepRunner(
+                jobs=1,
+                cache=ResultCache(tmp_path / str(plan_seed)),
+                fault_plan=plan,
+                policy=_fast_policy(),
+            )
+            assert runner.map(_cells()) == _expected()
+            retries += runner.stats.retries
+            retry_events += sum(
+                1 for e in runner.events if e["event"] == "cell_retry"
+            )
+        assert retries > 0
+        assert retry_events > 0
 
     def test_injected_crashes_converge_parallel(self, tmp_path):
         # Fault rolls hash the code fingerprint, so whether a given

@@ -1,0 +1,176 @@
+"""Chaos tests: correlated chip failures in the fleet (satellite 2).
+
+Kill chips mid-run through the scenario's
+:class:`~repro.faults.FaultPlan` and check the blast radius is exactly
+what the plan prescribes:
+
+* only tenants of failed chips are displaced — everyone else stays on
+  the chip they occupied before the failure epoch;
+* the sweep completes cleanly (no invariant violations) despite losing
+  whole racks;
+* ``fleet.chips_lost`` / ``fleet.vms_rescheduled`` counters match the
+  plan's recomputed firing schedule.
+
+The plan's firings are recomputable outside the fleet
+(``Scenario.chip_failures`` is a pure function), so every expectation
+here is derived independently of the code under test. Chaos-marked
+(with the rest of the fault-matrix suites) because each test drives a
+multi-epoch fleet; run with ``pytest -m chaos`` or ``make
+check-faults``.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.fleet import Fleet, Scenario
+
+pytestmark = [pytest.mark.chaos, pytest.mark.fleet]
+
+
+def failure_scenario(**overrides):
+    kwargs = dict(
+        chips=12,
+        epochs=6,
+        seed=21,
+        rack_size=4,
+        arrival_rate=0.5,
+        mean_lifetime_epochs=50.0,  # churn off the critical path
+        fault_plan=FaultPlan(seed=21, chip_failure=0.25),
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+def expected_firings(scenario):
+    """epoch -> chip ids the plan kills, recomputed from the plan."""
+    return {
+        epoch: scenario.chip_failures(epoch)
+        for epoch in range(scenario.epochs)
+    }
+
+
+class TestChipFailures:
+    def test_plan_actually_fires_in_this_scenario(self):
+        """Guard: the pinned seed must exercise the failure path."""
+        firings = expected_firings(failure_scenario())
+        assert any(chips for chips in firings.values())
+
+    def test_only_failed_chips_tenants_are_displaced(self):
+        scenario = failure_scenario()
+        fleet = Fleet(scenario)
+        fleet.setup()
+        for epoch in range(scenario.epochs):
+            placement_before = dict(fleet.tenant_chip)
+            departing = {
+                t
+                for t, vm in fleet._tenant_meta.items()
+                if vm.departs_at <= epoch
+            }
+            failing = set(scenario.chip_failures(epoch))
+            # Recompute which tenants sat on chips about to die.
+            doomed = {
+                t
+                for t, chip_id in placement_before.items()
+                if chip_id in failing
+            }
+            migrated_candidates = set(fleet._strikes)
+            fleet.step(epoch)
+            for tenant, chip_before in placement_before.items():
+                if tenant in doomed or tenant in departing:
+                    continue
+                if tenant not in fleet.tenant_chip:
+                    continue  # departed or migrated off later steps
+                moved = fleet.tenant_chip[tenant] != chip_before
+                if moved:
+                    # Only an SLA migration may move a survivor.
+                    assert tenant in migrated_candidates, (
+                        f"epoch {epoch}: tenant {tenant} moved "
+                        f"without failure or SLA strikes"
+                    )
+            # Displaced tenants are off the dead chip: either
+            # rescheduled to a live one or dropped entirely.
+            for tenant in doomed:
+                if tenant in fleet.tenant_chip:
+                    new_chip = fleet.chips[fleet.tenant_chip[tenant]]
+                    assert new_chip.alive
+                    assert new_chip.chip_id not in failing
+
+    def test_counters_match_the_plan(self):
+        scenario = failure_scenario()
+        fleet = Fleet(scenario)
+        fleet.setup()
+        expected_lost = 0
+        expected_displaced = 0
+        dead = set()
+        for epoch in range(scenario.epochs):
+            for chip_id in scenario.chip_failures(epoch):
+                if chip_id in dead:
+                    continue
+                dead.add(chip_id)
+                expected_lost += 1
+                expected_displaced += len(
+                    fleet.chips[chip_id].tenants
+                )
+            fleet.step(epoch)
+        c = fleet.counters
+        assert c["chips_lost"] == expected_lost
+        assert (
+            c["vms_rescheduled"] + c["reschedule_failed"]
+            == expected_displaced
+        )
+        live = [chip for chip in fleet.chips if chip.alive]
+        assert len(live) == scenario.chips - expected_lost
+
+    def test_sweep_completes_clean_despite_rack_loss(self):
+        result = Fleet(failure_scenario()).run()
+        assert result.ok
+        assert len(result.epochs) == 6
+        assert result.counters["chips_lost"] > 0
+
+    def test_whole_fleet_loss_drops_all_tenants(self):
+        scenario = failure_scenario(
+            chips=4,
+            epochs=2,
+            rack_size=4,
+            arrival_rate=0.0,
+            fault_plan=FaultPlan(seed=0, chip_failure=1.0),
+        )
+        fleet = Fleet(scenario)
+        result = fleet.run()
+        assert result.ok
+        assert result.counters["chips_lost"] == 4
+        # Nowhere to reschedule: every displaced tenant is dropped.
+        assert result.counters["vms_rescheduled"] == 0
+        assert (
+            result.counters["reschedule_failed"]
+            == result.counters["admissions"]
+            - result.counters["departures"]
+        )
+        assert fleet.tenant_chip == {}
+        # Later arrivals bounce off the dead fleet as rejections.
+        assert all(not chip.alive for chip in fleet.chips)
+
+    def test_failures_are_deterministic_across_runs(self):
+        scenario = failure_scenario()
+        assert (
+            Fleet(scenario).run().to_json()
+            == Fleet(scenario).run().to_json()
+        )
+
+    def test_obs_counters_mirror_fleet_counters(self):
+        from repro import obs
+
+        scenario = failure_scenario(chips=8, epochs=4)
+        obs.reset()
+        obs.configure()
+        try:
+            fleet = Fleet(scenario)
+            fleet.run()
+            snapshot = obs.metrics().snapshot()
+            counters = snapshot.get("counters", snapshot)
+            for name in ("chips_lost", "vms_rescheduled"):
+                key = f"fleet.{name}"
+                if fleet.counters[name]:
+                    assert counters.get(key) == fleet.counters[name]
+        finally:
+            obs.reset()

@@ -1,0 +1,141 @@
+"""Property tests for the fleet invariants (ISSUE 6 satellite 1).
+
+Hypothesis drives randomly parameterised scenarios — scale, churn,
+flash crowds, correlated failures — through the full hierarchical loop
+and asserts the scheduler's contract holds at *every* epoch, not just
+at the end:
+
+* **conservation** — every admitted VM is resident on exactly one live
+  chip, and the scheduler registry agrees with the chips' own books;
+* **capacity** — no chip ever exceeds its core budget or its
+  one-private-bank-per-VM slot budget;
+* **isolation** — after any admit/release/migrate sequence, every
+  freshly placed per-chip allocation still satisfies the no-shared-
+  banks invariant (validated inside ``FleetChip.tick``; a violation
+  surfaces in ``invariant_violations``);
+* **determinism** — replaying the same scenario (same seed) yields a
+  byte-identical canonical result.
+
+Example counts stay small because each example runs a real fleet
+(every chip ticks a Jumanji runtime per epoch), but every example
+audits every epoch.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan
+from repro.fleet import Fleet, Scenario
+
+pytestmark = pytest.mark.fleet
+
+scenarios = st.builds(
+    Scenario,
+    chips=st.integers(min_value=1, max_value=6),
+    epochs=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    initial_tenants=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=8)
+    ),
+    arrival_rate=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=2.0)
+    ),
+    mean_lifetime_epochs=st.floats(min_value=1.0, max_value=10.0),
+    max_batch_apps=st.integers(min_value=0, max_value=2),
+    diurnal_amplitude=st.floats(min_value=0.0, max_value=0.9),
+    flash_prob=st.floats(min_value=0.0, max_value=0.5),
+    rack_size=st.integers(min_value=1, max_value=4),
+    migration_patience=st.integers(min_value=1, max_value=3),
+    fault_plan=st.one_of(
+        st.none(),
+        st.builds(
+            FaultPlan,
+            seed=st.integers(min_value=0, max_value=1000),
+            chip_failure=st.floats(min_value=0.0, max_value=0.3),
+        ),
+    ),
+)
+
+
+def assert_epoch_invariants(fleet, epoch):
+    """Conservation + capacity, independently of Fleet.audit."""
+    seen = {}
+    for chip in fleet.chips:
+        # Capacity: cores.
+        used = sum(
+            chip.tenants[t].cores_needed for t in chip.tenants
+        )
+        assert used <= chip.config.num_cores, (
+            f"epoch {epoch}: chip {chip.chip_id} over core budget"
+        )
+        assert used == chip.used_cores
+        # Capacity: one private bank per VM.
+        assert len(chip.tenants) <= chip.config.num_banks
+        for tenant_id in chip.tenants:
+            assert chip.alive, (
+                f"epoch {epoch}: tenant {tenant_id} on dead chip"
+            )
+            assert tenant_id not in seen, (
+                f"epoch {epoch}: tenant {tenant_id} on two chips"
+            )
+            seen[tenant_id] = chip.chip_id
+    # Conservation: registry == union of chip books.
+    assert seen == fleet.tenant_chip
+    # The fleet's own audit agrees.
+    assert fleet.audit(epoch) == []
+
+
+@settings(max_examples=12, deadline=None)
+@given(scenario=scenarios)
+def test_conservation_and_capacity_every_epoch(scenario):
+    fleet = Fleet(scenario)
+    fleet.setup()
+    assert_epoch_invariants(fleet, -1)
+    for epoch in range(scenario.epochs):
+        fleet.step(epoch)
+        assert_epoch_invariants(fleet, epoch)
+    # Counter-level conservation: every admission is accounted for —
+    # still resident, departed, or dropped on a failed reschedule.
+    # (Rescheduling after a failure moves a tenant, it does not
+    # re-admit it; rejections never became resident at all.)
+    c = fleet.counters
+    assert c["admissions"] == (
+        len(fleet.tenant_chip)
+        + c["departures"]
+        + c["reschedule_failed"]
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(scenario=scenarios)
+def test_isolation_survives_any_churn_sequence(scenario):
+    """No admit/release/migrate/failure sequence produces a placement
+    that shares a bank across VMs (tick validates each fresh
+    allocation; violations would land in invariant_violations)."""
+    result = Fleet(scenario).run()
+    assert result.invariant_violations == []
+    assert result.ok
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    scenario=scenarios,
+)
+def test_seed_replay_is_byte_identical(scenario):
+    first = Fleet(scenario).run()
+    second = Fleet(scenario).run()
+    assert first.to_json() == second.to_json()
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    chips=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_different_seeds_may_differ_but_stay_valid(chips, seed):
+    """Changing only the seed keeps every invariant intact."""
+    base = Scenario(chips=chips, epochs=2, seed=seed)
+    other = Scenario(chips=chips, epochs=2, seed=seed + 1)
+    for sc in (base, other):
+        result = Fleet(sc).run()
+        assert result.ok

@@ -1,0 +1,132 @@
+"""Many-instance regression tests (ISSUE 6 satellite 4).
+
+A fleet holds hundreds of coexisting runtimes, which is exactly the
+regime where latent shared-state bugs (module-level caches keyed too
+coarsely, unbounded per-instance history, cross-instance RNG leaks)
+surface. These tests pin the two guarantees the fleet depends on:
+
+* **independence** — a runtime's results are identical whether it runs
+  alone or interleaved with hundreds of siblings in the same process;
+* **bounded state** — with ``ControllerConfig.history_limit`` set (as
+  ``FleetChip`` sets it), controller decisions and runtime events are
+  ring-buffered, so a long-lived fleet's memory does not grow with
+  epochs.
+"""
+
+import pytest
+
+from repro.config import ControllerConfig
+from repro.core.designs import make_design
+from repro.core.runtime import JumanjiRuntime
+from repro.fleet import FleetChip, TenantVM
+from repro.model.system import SystemModel
+from repro.model.workload import make_default_workload
+
+pytestmark = pytest.mark.fleet
+
+N_CHIPS = 200
+EPOCHS = 3
+
+
+def make_chip(chip_id, seed):
+    chip = FleetChip(chip_id, seed=seed)
+    chip.admit(
+        TenantVM(
+            tenant_id=0,
+            lc_app="xapian",
+            batch_apps=("429.mcf",),
+            arrival_epoch=0,
+            lifetime_epochs=100,
+        )
+    )
+    return chip
+
+
+class TestManyCoexistingInstances:
+    def test_200_chips_interleaved_match_solo_runs(self):
+        """Interleaving 200 runtimes epoch-by-epoch changes nothing.
+
+        Every chip gets the same seed and tenant, so every chip must
+        produce the same ratios — and they must equal a solo chip run
+        start-to-finish in a process-state-free way. Any cross-instance
+        leak (shared mutable default, global RNG draw, cache keyed
+        without the instance) breaks the equality.
+        """
+        solo = make_chip(0, seed=42)
+        solo_ratios = [solo.tick(e) for e in range(EPOCHS)]
+
+        chips = [make_chip(i, seed=42) for i in range(N_CHIPS)]
+        interleaved = [
+            [chip.tick(epoch) for chip in chips]
+            for epoch in range(EPOCHS)
+        ]
+        for epoch in range(EPOCHS):
+            for chip_id in range(N_CHIPS):
+                assert (
+                    interleaved[epoch][chip_id]
+                    == solo_ratios[epoch]
+                ), f"chip {chip_id} diverged at epoch {epoch}"
+
+    def test_coexisting_system_models_match_solo(self):
+        """SystemModel runs are unaffected by 200 live siblings."""
+
+        def build():
+            workload = make_default_workload(
+                ["xapian"], mix_seed=0, load="high"
+            )
+            return SystemModel(
+                make_design("Jumanji"), workload, seed=7
+            )
+
+        solo = build().run(2)
+        crowd = [build() for _ in range(N_CHIPS)]
+        # Run a sample spread across the crowd while the rest coexist.
+        for model in (crowd[0], crowd[N_CHIPS // 2], crowd[-1]):
+            result = model.run(2)
+            assert result.lc_all_latencies == solo.lc_all_latencies
+            assert result.lc_deadlines == solo.lc_deadlines
+            for got, want in zip(result.epochs, solo.epochs):
+                assert got == want
+
+    def test_distinct_seeds_stay_distinct(self):
+        """Seeds differentiate chips even when 200 share a process."""
+        a = make_chip(0, seed=1)
+        b = make_chip(1, seed=2)
+        assert a.tick(0) != b.tick(0)
+
+
+class TestBoundedHistory:
+    def test_controller_decisions_and_events_are_ring_buffered(self):
+        chip = make_chip(0, seed=3)
+        limit = chip.runtime.controller.config.history_limit
+        assert limit is not None
+        for epoch in range(limit + 8):
+            chip.tick(epoch)
+        assert len(chip.runtime.controller.decisions) <= limit
+        assert len(chip.runtime.events) <= limit
+        assert len(chip.runtime.history) <= limit
+
+    def test_unbounded_without_limit(self):
+        """The paper-scale single-chip path keeps full history."""
+        workload = make_default_workload(
+            ["xapian"], mix_seed=0, load="high"
+        )
+        spec = workload
+
+        def builder(sizes):
+            from repro.noc.mesh import MeshNoc
+
+            return spec.build_context(
+                dict(sizes), MeshNoc(spec.config)
+            )
+
+        runtime = JumanjiRuntime(
+            make_design("Jumanji"),
+            spec.config,
+            context_builder=builder,
+            controller_config=ControllerConfig(),
+            seed=0,
+        )
+        assert runtime.controller.config.history_limit is None
+        assert isinstance(runtime.events, list)
+        assert isinstance(runtime.controller.decisions, list)
