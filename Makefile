@@ -2,9 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test check check-faults bench bench-smoke \
-	bench-tracesim bench-model bench-obs bench-fleet bench-full \
-	examples figures clean
+.PHONY: install test check check-faults check-resilience bench \
+	bench-smoke bench-tracesim bench-model bench-obs bench-fleet \
+	bench-full examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,7 @@ check:
 	$(MAKE) bench-obs
 	$(MAKE) bench-fleet
 	$(MAKE) check-faults
+	$(MAKE) check-resilience
 
 # Chaos smoke (seconds, fixed seed): the fault-injection bench suite —
 # differential clean-vs-chaos sweeps on throwaway caches plus the
@@ -30,6 +31,14 @@ check-faults:
 	PYTHONPATH=src $(PYTHON) -m repro bench --suite faults \
 	  --mixes 1 --epochs 2 --output BENCH_faults_smoke.json
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m chaos
+
+# Self-healing drill (seconds, fixed seed): every resilience-marked
+# test — repair lifecycle, health-aware scheduling tiers, admission
+# backpressure, journal semantics, byte-identical resume — including
+# the chaos-marked kill -9 of a real `repro fleet run --checkpoint`
+# subprocess.
+check-resilience:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m resilience
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -70,8 +79,11 @@ bench-obs:
 
 # Rack-scale fleet gate (seconds, fixed seed): one churn + flash +
 # chip-failure scenario run twice through the hierarchical epoch loop;
-# exits non-zero if the two canonical results differ byte-for-byte or
-# any conservation/capacity/isolation invariant breaks. Writes to a
+# exits non-zero if the two canonical results differ byte-for-byte,
+# any conservation/capacity/isolation invariant breaks, the
+# failure-storm scenario ends without completed repairs (with repaired
+# chips back in service and zero violations), or a run killed mid-way
+# fails to resume byte-identically from its journal. Writes to a
 # scratch path so the committed default-scale BENCH_fleet.json
 # (regenerate with `python -m repro bench --suite fleet`) survives.
 bench-fleet:

@@ -66,6 +66,7 @@ import argparse
 import json
 import os
 import pathlib
+import tempfile
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -1090,9 +1091,16 @@ def run_fleet_bench(
       or isolation violation (``FleetResult.ok``).
     * **throughput** — chip-epochs/s for the slower run is recorded so
       regressions in the hierarchical epoch loop show up in the report.
+    * **resilience storm** — a failure-heavy scenario (correlated rack
+      failures, repairable chips, stragglers, bounded admission queue)
+      must finish with zero invariant violations, at least one
+      completed repair, and repaired chips back in service.
+    * **checkpoint/resume** — a run killed mid-flight and resumed from
+      its ``--checkpoint`` journal must serialise byte-identically to
+      an uninterrupted run of the same scenario.
     """
     from .faults import FaultPlan
-    from .fleet import Scenario, run_fleet
+    from .fleet import Fleet, FleetJournal, Scenario, run_fleet
 
     settings = Settings.from_env()
     if chips is None:
@@ -1128,7 +1136,85 @@ def run_fleet_bench(
 
     deterministic = payloads[0] == payloads[1]
     invariants_ok = all(r["ok"] for r in runs)
-    ok = deterministic and invariants_ok
+
+    # Resilience storm: failures every epoch, most chips repairable,
+    # stragglers, and enough churn that repaired sockets are needed
+    # again. The gate requires the self-healing loop to demonstrably
+    # close: repairs completed, repaired chips back in service, and
+    # not a single invariant violated under the storm.
+    storm = Scenario(
+        chips=chips,
+        epochs=epochs,
+        seed=seed,
+        rack_size=2,
+        arrival_rate=2.0,
+        flash_prob=0.2,
+        admission_patience=3,
+        pending_limit=16,
+        fault_plan=FaultPlan(
+            seed=seed,
+            chip_failure=0.08,
+            chip_repair=0.9,
+            chip_slow=0.1,
+            repair_mttr_epochs=2.0,
+        ),
+    )
+    storm_fleet = Fleet(storm)
+    storm_result = storm_fleet.run()
+    repaired = sorted(storm_fleet.repaired_chips)
+    serving = [
+        chip_id
+        for chip_id in repaired
+        if storm_fleet.chips[chip_id].alive
+        and storm_fleet.chips[chip_id].tenants
+    ]
+    storm_ok = (
+        storm_result.ok
+        and storm_result.counters.get("repairs", 0) > 0
+        and bool(serving)
+    )
+
+    # Checkpoint/resume: journal a small storm run, abandon it halfway
+    # (the in-process stand-in for kill -9; the chaos test suite does
+    # the real subprocess kill), then resume from the journal and
+    # demand byte-identity with an uninterrupted run.
+    ck_scenario = Scenario(
+        chips=min(chips, 8),
+        epochs=max(4, min(epochs, 8)),
+        seed=seed,
+        rack_size=2,
+        flash_prob=0.1,
+        admission_patience=3,
+        pending_limit=8,
+        fault_plan=FaultPlan(
+            seed=seed,
+            chip_failure=0.05,
+            chip_repair=0.8,
+            chip_slow=0.08,
+            repair_mttr_epochs=2.0,
+        ),
+    )
+    uninterrupted = run_fleet(ck_scenario).to_json()
+    interrupt_at = ck_scenario.epochs // 2
+    with tempfile.TemporaryDirectory() as tmp:
+        ck_path = pathlib.Path(tmp) / "fleet.journal"
+        killed = Fleet(ck_scenario)
+        journal = FleetJournal(ck_path)
+        journal.write_header(ck_scenario.as_params(), "Jumanji")
+        killed.attach_journal(journal)
+        killed.setup()
+        for epoch in range(interrupt_at):
+            killed.step(epoch)
+        del killed  # the "crash": only the journal survives
+        resumed = run_fleet(
+            ck_scenario, checkpoint=ck_path
+        ).to_json()
+    resume_identical = resumed == uninterrupted
+
+    ok = (
+        deterministic and invariants_ok and storm_ok
+        and resume_identical
+    )
     report: Dict[str, Any] = {
         "version": __version__,
         "suite": "fleet",
@@ -1140,6 +1226,22 @@ def run_fleet_bench(
         ),
         "determinism": {"identical_results": deterministic},
         "invariants": {"ok": invariants_ok},
+        "resilience": {
+            "scenario": storm.as_params(),
+            "counters": dict(storm_result.counters),
+            "invariant_violations": list(
+                storm_result.invariant_violations
+            ),
+            "repaired_chips": repaired,
+            "repaired_serving": serving,
+            "ok": storm_ok,
+        },
+        "checkpoint": {
+            "scenario": ck_scenario.as_params(),
+            "interrupted_at_epoch": interrupt_at,
+            "resume_identical": resume_identical,
+            "ok": resume_identical,
+        },
         "ok": ok,
     }
     if output is None:
@@ -1179,6 +1281,19 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
     print(
         f"  deterministic results: "
         f"{report['determinism']['identical_results']}"
+    )
+    res = report["resilience"]
+    print(
+        f"  resilience storm: {res['counters']['repairs']} repairs, "
+        f"{len(res['repaired_serving'])} repaired chip(s) serving, "
+        f"{len(res['invariant_violations'])} violations "
+        f"-> {'ok' if res['ok'] else 'FAILED'}"
+    )
+    ck = report["checkpoint"]
+    print(
+        f"  checkpoint/resume: killed at epoch "
+        f"{ck['interrupted_at_epoch']}, byte-identical resume: "
+        f"{ck['resume_identical']}"
     )
     print(f"wrote {report['output']}")
     if not report["ok"]:

@@ -126,8 +126,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-rack per-epoch failure probability (default 0)",
     )
     frun.add_argument(
+        "--chip-repair", type=float, default=0.0,
+        help="probability a failed chip is repairable; when it fires "
+        "an MTTR delay is drawn and the chip rejoins (default 0)",
+    )
+    frun.add_argument(
+        "--mttr", type=float, default=4.0,
+        help="mean epochs a repair takes (exponential; default 4)",
+    )
+    frun.add_argument(
+        "--chip-slow", type=float, default=0.0,
+        help="per-chip per-epoch straggler probability: service "
+        "times inflate and the scheduler deprioritises (default 0)",
+    )
+    frun.add_argument(
+        "--slow-factor", type=float, default=2.0,
+        help="service-time inflation on straggler chips (default 2)",
+    )
+    frun.add_argument(
         "--rack-size", type=int, default=8,
         help="chips per failure-correlation rack (default 8)",
+    )
+    frun.add_argument(
+        "--admission-patience", type=int, default=4,
+        help="epochs a deferred arrival waits before rejection "
+        "(default 4)",
+    )
+    frun.add_argument(
+        "--pending-limit", type=int, default=64,
+        help="bound on the pending-arrivals queue (default 64)",
+    )
+    frun.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="crash-safe per-epoch journal; a killed run resumes "
+        "from it byte-identically (default: "
+        "REPRO_FLEET_CHECKPOINT)",
     )
     frun.add_argument(
         "--stats-out", default=None, metavar="PATH",
@@ -316,6 +349,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     unordered iteration — so two same-seed invocations are
     byte-identical (the acceptance gate). Exits non-zero if any fleet
     invariant (conservation/capacity/isolation) broke during the run.
+    With ``--checkpoint`` (or ``REPRO_FLEET_CHECKPOINT``) each epoch
+    is journalled as it completes, and a killed run resumes from the
+    journal with byte-identical output.
     """
     import pathlib
 
@@ -331,8 +367,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if epochs is None:
         epochs = settings.fleet_epochs if settings.fleet_epochs else 12
     plan = None
-    if args.chip_failure > 0.0:
-        plan = FaultPlan(seed=args.seed, chip_failure=args.chip_failure)
+    if (
+        args.chip_failure > 0.0
+        or args.chip_repair > 0.0
+        or args.chip_slow > 0.0
+    ):
+        plan = FaultPlan(
+            seed=args.seed,
+            chip_failure=args.chip_failure,
+            chip_repair=args.chip_repair,
+            chip_slow=args.chip_slow,
+            repair_mttr_epochs=args.mttr,
+            slow_service_factor=args.slow_factor,
+        )
     scenario = Scenario(
         chips=chips,
         epochs=epochs,
@@ -341,9 +388,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         arrival_rate=args.arrival_rate,
         flash_prob=args.flash_prob,
         rack_size=args.rack_size,
+        admission_patience=args.admission_patience,
+        pending_limit=args.pending_limit,
         fault_plan=plan,
     )
-    result = run_fleet(scenario, design=args.design)
+    checkpoint = args.checkpoint or settings.fleet_checkpoint
+    result = run_fleet(
+        scenario, design=args.design, checkpoint=checkpoint
+    )
     stats = result.to_json()
     print(stats)
     if args.stats_out:

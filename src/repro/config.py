@@ -285,6 +285,9 @@ class Settings:
     fleet_chips: Optional[int] = None
     #: ``REPRO_FLEET_EPOCHS`` — default ``repro fleet run`` epoch count.
     fleet_epochs: Optional[int] = None
+    #: ``REPRO_FLEET_CHECKPOINT`` — default ``repro fleet run
+    #: --checkpoint`` journal path (crash-safe resume).
+    fleet_checkpoint: Optional[str] = None
 
     @classmethod
     def from_env(
@@ -329,4 +332,5 @@ class Settings:
             metrics=_clean(env, "REPRO_METRICS"),
             fleet_chips=_positive_int(env, "REPRO_FLEET_CHIPS"),
             fleet_epochs=_positive_int(env, "REPRO_FLEET_EPOCHS"),
+            fleet_checkpoint=_clean(env, "REPRO_FLEET_CHECKPOINT"),
         )

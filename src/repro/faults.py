@@ -34,7 +34,16 @@ Injection sites (all probabilities in ``[0, 1]``, default 0 = off):
 * ``chip_failure``   — a whole simulated chip (socket) dies mid-run.
   The fleet layer rolls this once per *rack* per epoch, so failures are
   correlated: one decision takes out every chip in the blast radius,
-  exactly like a failed PDU or ToR switch.
+  exactly like a failed PDU or ToR switch;
+* ``chip_repair``    — a failed chip is repairable. Rolled once per
+  failure; when it fires, the fleet draws an MTTR-style exponential
+  delay (mean ``repair_mttr_epochs``) from the same decision key and
+  the chip rejoins the scheduler pool — fresh hardware, cold state —
+  once the delay elapses;
+* ``chip_slow``      — a chip is a *straggler* this epoch. Rolled per
+  chip per epoch; while it fires, every tenant on the chip sees its
+  queueing service times inflated by ``slow_service_factor`` and the
+  scheduler deprioritises the chip for new placements.
 """
 
 from __future__ import annotations
@@ -67,6 +76,8 @@ FAULT_SITES = (
     "telemetry_negative",
     "telemetry_drop",
     "chip_failure",
+    "chip_repair",
+    "chip_slow",
 )
 
 
@@ -84,8 +95,15 @@ class FaultPlan:
     telemetry_negative: float = 0.0
     telemetry_drop: float = 0.0
     chip_failure: float = 0.0
+    chip_repair: float = 0.0
+    chip_slow: float = 0.0
     #: How long a ``cell_stall`` fault sleeps (seconds).
     stall_seconds: float = 5.0
+    #: Mean of the exponential repair delay a firing ``chip_repair``
+    #: draws (epochs) — the fleet's MTTR.
+    repair_mttr_epochs: float = 4.0
+    #: Service-time inflation on a chip while ``chip_slow`` fires.
+    slow_service_factor: float = 2.0
 
     def __post_init__(self) -> None:
         for site in FAULT_SITES:
@@ -96,6 +114,10 @@ class FaultPlan:
                 )
         if self.stall_seconds < 0:
             raise ConfigError("stall_seconds must be non-negative")
+        if self.repair_mttr_epochs <= 0:
+            raise ConfigError("repair_mttr_epochs must be positive")
+        if self.slow_service_factor < 1.0:
+            raise ConfigError("slow_service_factor must be >= 1")
 
     # -- canonical form -------------------------------------------------------
 

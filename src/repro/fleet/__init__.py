@@ -18,7 +18,15 @@ layer:
   migrations), with per-epoch conservation/capacity audits and
   per-placement isolation checks;
 * :func:`~repro.fleet.cluster.run_fleet` — scenario in, canonical
-  :class:`~repro.fleet.cluster.FleetResult` out.
+  :class:`~repro.fleet.cluster.FleetResult` out;
+* :mod:`~repro.fleet.resilience` — the self-healing layer: per-chip
+  health lifecycle (``healthy -> degraded -> failed -> repairing ->
+  healthy``) behind :class:`~repro.fleet.resilience.HealthTracker`,
+  bounded admission backpressure
+  (:class:`~repro.fleet.resilience.AdmissionQueue`), and the
+  crash-safe per-epoch
+  :class:`~repro.fleet.resilience.FleetJournal` that makes
+  ``repro fleet run --checkpoint`` kill/resume byte-identical.
 
 Quick start::
 
@@ -46,14 +54,28 @@ from .cluster import (
     FleetResult,
     run_fleet,
 )
+from .resilience import (
+    HEALTH_STATES,
+    AdmissionQueue,
+    FleetJournal,
+    HealthTracker,
+    JournalState,
+    PendingArrival,
+)
 from .scenarios import Scenario, TenantSpec
 
 __all__ = [
+    "HEALTH_STATES",
+    "AdmissionQueue",
     "ClusterScheduler",
     "Fleet",
     "FleetChip",
     "FleetEpochStats",
+    "FleetJournal",
     "FleetResult",
+    "HealthTracker",
+    "JournalState",
+    "PendingArrival",
     "Scenario",
     "TenantSpec",
     "TenantVM",

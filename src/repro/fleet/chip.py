@@ -314,7 +314,12 @@ class FleetChip:
 
     # -- the per-socket epoch -------------------------------------------------
 
-    def tick(self, epoch: int, load_factor: float = 1.0) -> Dict[int, float]:
+    def tick(
+        self,
+        epoch: int,
+        load_factor: float = 1.0,
+        service_factor: float = 1.0,
+    ) -> Dict[int, float]:
         """Run one 100 ms epoch; returns tenant -> tail/deadline ratio.
 
         Mirrors ``SystemModel``'s LC path: reconfigure, then advance
@@ -324,6 +329,10 @@ class FleetChip:
         no completions this epoch reports ratio 0.0 (no evidence of
         violation). Validates the no-shared-banks invariant on every
         freshly placed allocation.
+
+        ``service_factor`` inflates every tenant's queueing service
+        time — the fleet sets it above 1.0 while the scenario's
+        ``chip_slow`` fault site marks this chip as a straggler.
         """
         if not self.alive:
             raise ConfigError(f"chip {self.chip_id} is dead")
@@ -349,8 +358,12 @@ class FleetChip:
                 # successful placement covers it.
                 noc_rtt = snuca_avg_rtt(tile, self.noc)
                 ways = float(self.config.llc_bank_ways)
-            service = lc_service_cycles(
-                profile, size, noc_rtt, ways, self.config, spec.params
+            service = (
+                lc_service_cycles(
+                    profile, size, noc_rtt, ways, self.config,
+                    spec.params,
+                )
+                * service_factor
             )
             qps = max(spec.qps_of(app) * load_factor, 1e-6)
             result = self._sims[tid].run_epoch(

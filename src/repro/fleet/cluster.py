@@ -4,40 +4,59 @@ A :class:`Fleet` holds hundreds of :class:`~repro.fleet.chip.FleetChip`
 sockets behind a :class:`ClusterScheduler` and runs one hierarchical
 epoch loop per 100 ms tick:
 
-1. **failures** — rack-correlated chip deaths from the scenario's
-   :class:`~repro.faults.FaultPlan`; displaced tenants are rescheduled
-   cold onto surviving sockets (``fleet.chips_lost`` /
-   ``fleet.vms_rescheduled``);
-2. **departures** — tenants whose lifetime expired release their cores;
-3. **arrivals** — Poisson churn plus flash crowds, admitted
+1. **repairs** — chips whose MTTR elapsed rebuild a fresh
+   ``FleetChip``/``JumanjiRuntime`` and rejoin the scheduler pool
+   (``fleet.repairs``);
+2. **failures** — rack-correlated chip deaths from the scenario's
+   :class:`~repro.faults.FaultPlan`; a failed chip is ``repairing``
+   when the ``chip_repair`` site granted it a repair delay, ``failed``
+   for good otherwise. Displaced tenants are rescheduled cold onto
+   surviving sockets, preferring chips *off* the failed racks
+   (anti-affinity) and healthy over degraded ones
+   (``fleet.chips_lost`` / ``fleet.vms_rescheduled``); a tenant with
+   nowhere to go is dropped loudly (``fleet.vms_lost``);
+3. **health** — the ``chip_slow`` site marks straggler chips
+   ``degraded`` for the epoch: their queueing service times are
+   inflated and the scheduler deprioritises them;
+4. **departures** — tenants whose lifetime expired release their cores;
+5. **admission** — Poisson churn plus flash crowds, admitted
    least-loaded-first against per-socket core/bank capacity
-   (``fleet.admissions`` / ``fleet.rejections``);
-4. **ticks** — every live socket runs its own Jumanji reconfiguration
+   (``fleet.admissions``). An arrival that does not fit is *deferred*
+   into a bounded pending queue with per-tenant patience
+   (``fleet.deferred``) instead of silently dropped; patience expiry
+   and queue overflow are counted as ``fleet.rejections``;
+6. **ticks** — every live socket runs its own Jumanji reconfiguration
    and queueing epoch under the diurnal load factor; tail/deadline
    ratios feed the fleet p95 histogram (``fleet.lc_tail_vs_deadline``)
    and the SLA accounting;
-5. **migrations** — a tenant violating its SLA for
+7. **migrations** — a tenant violating its SLA for
    ``migration_patience`` consecutive epochs is moved (queueing backlog
    and all) to the least-loaded other socket with room
-   (``fleet.migrations`` / ``fleet.migration_rejected``).
+   (``fleet.migrations`` / ``fleet.migration_rejected``); the socket it
+   just left is excluded for one epoch so the tie-break cannot bounce
+   it straight back.
 
 Every epoch ends with an invariant audit — conservation (each admitted
 tenant on exactly one live chip, registry and chips agreeing), capacity
-(no chip over its core or bank budget) — and every fresh per-chip
+(no chip over its core or bank budget), and the deferred-arrival ledger
+(``arrivals == admissions + pending + rejections`` and ``admissions ==
+resident + departures + vms_lost``) — and every fresh per-chip
 placement is isolation-checked in :meth:`FleetChip.tick`. Violations
 are collected into the result (and fail the bench gate) rather than
 silently dropped.
 
 Determinism contract: :class:`FleetResult` contains no wall-clock and
 no unordered iteration — two same-seed runs serialise byte-identically
-(the CLI and ``repro bench --suite fleet`` gate on exactly that).
+(the CLI and ``repro bench --suite fleet`` gate on exactly that), and a
+run killed mid-way resumes from its :class:`~repro.fleet.resilience.
+FleetJournal` to the same bytes.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from .. import obs
 from ..config import SystemConfig
@@ -45,6 +64,13 @@ from ..errors import AllocationInvalid, ConfigError
 from ..noc.mesh import MeshNoc
 from ..sim.queueing import percentile
 from .chip import FleetChip, TenantVM, small_chip_config
+from .resilience import (
+    AdmissionQueue,
+    FleetJournal,
+    HealthTracker,
+    JournalState,
+    _canonical,
+)
 from .scenarios import Scenario, TenantSpec
 
 __all__ = [
@@ -71,28 +97,64 @@ FLEET_COUNTERS = (
     "chips_lost",
     "vms_rescheduled",
     "reschedule_failed",
+    "arrivals",
+    "deferred",
+    "vms_lost",
+    "repairs",
 )
 
 
 class ClusterScheduler:
-    """Least-loaded-first placement over the live sockets.
+    """Health- and topology-aware least-loaded-first placement.
 
-    Deterministic: chips are scanned in id order and the first chip
-    with the strictly largest number of free cores wins, so ties break
-    toward the lowest chip id.
+    Deterministic: candidates are ranked into preference tiers —
+    allowed-rack healthy, allowed-rack degraded, avoided-rack healthy,
+    avoided-rack degraded (rack anti-affinity binds harder than
+    degradation, because correlated-failure blast radii repeat) — and
+    within a tier the first chip with the strictly largest number of
+    free cores wins in id order, so ties break toward the lowest chip
+    id. With no health tracker or rack information every chip lands in
+    the first tier and the behaviour is the original least-loaded scan.
     """
 
     def select(
-        self, vm: TenantVM, chips: List[FleetChip]
+        self,
+        vm: TenantVM,
+        chips: List[FleetChip],
+        health: Optional[HealthTracker] = None,
+        avoid_chips: FrozenSet[int] = frozenset(),
+        avoid_racks: FrozenSet[int] = frozenset(),
+        rack_of=None,
     ) -> Optional[FleetChip]:
-        """The chip to place ``vm`` on, or ``None`` if the fleet is full."""
-        best: Optional[FleetChip] = None
+        """The chip to place ``vm`` on, or ``None`` if the fleet is full.
+
+        ``avoid_chips`` is a hard exclusion (anti-bounce); ``avoid_racks``
+        (requires ``rack_of``) and health degradation are soft — the
+        scheduler falls back to worse tiers when nothing better fits.
+        """
+        tiers: List[List[FleetChip]] = [[], [], [], []]
         for chip in chips:
-            if not chip.can_admit(vm):
+            if chip.chip_id in avoid_chips:
                 continue
-            if best is None or chip.free_cores > best.free_cores:
-                best = chip
-        return best
+            avoided = (
+                rack_of is not None
+                and rack_of(chip.chip_id) in avoid_racks
+            )
+            degraded = (
+                health is not None
+                and health.state(chip.chip_id) == "degraded"
+            )
+            tiers[2 * avoided + degraded].append(chip)
+        for tier in tiers:
+            best: Optional[FleetChip] = None
+            for chip in tier:
+                if not chip.can_admit(vm):
+                    continue
+                if best is None or chip.free_cores > best.free_cores:
+                    best = chip
+            if best is not None:
+                return best
+        return None
 
 
 @dataclass
@@ -112,6 +174,15 @@ class FleetEpochStats:
     chips_lost: int
     vms_rescheduled: int
     reschedule_failed: int
+    arrivals: int
+    deferred: int
+    vms_lost: int
+    repairs: int
+    pending: int
+    healthy_chips: int
+    degraded_chips: int
+    failed_chips: int
+    repairing_chips: int
     mean_ratio: float
     p95_ratio: float
 
@@ -154,7 +225,9 @@ class Fleet:
     Drive it either with :meth:`run` (the whole scenario in one call)
     or incrementally — :meth:`setup` once, then :meth:`step` per epoch,
     then :meth:`result` — which is how the fault tests observe tenant
-    placement mid-run.
+    placement mid-run. Attach a
+    :class:`~repro.fleet.resilience.FleetJournal` to make the run
+    crash-safe (:func:`run_fleet` wires this up for ``--checkpoint``).
     """
 
     def __init__(
@@ -163,35 +236,74 @@ class Fleet:
         design: str = "Jumanji",
         chip_config: Optional[SystemConfig] = None,
         scheduler: Optional[ClusterScheduler] = None,
+        history_limit: int = 64,
     ):
         self.scenario = scenario
         self.design_name = design
-        config = (
+        self.history_limit = history_limit
+        self._chip_config = (
             chip_config if chip_config is not None else small_chip_config()
         )
-        noc = MeshNoc(config)
+        self._noc = MeshNoc(self._chip_config)
+        self._incarnations: Dict[int, int] = {
+            chip_id: 0 for chip_id in range(scenario.chips)
+        }
         self.chips = [
-            FleetChip(
-                chip_id,
-                config=config,
-                design=design,
-                seed=scenario.seed * 1_000_003 + chip_id,
-                noc=noc,
-            )
+            self._build_chip(chip_id)
             for chip_id in range(scenario.chips)
         ]
         self.scheduler = (
             scheduler if scheduler is not None else ClusterScheduler()
         )
+        self.health = HealthTracker(
+            scenario.chips, history_limit=history_limit
+        )
+        self.pending = AdmissionQueue(scenario.pending_limit)
         self.counters: Dict[str, int] = {c: 0 for c in FLEET_COUNTERS}
         #: tenant id -> chip id, the scheduler's source of truth.
         self.tenant_chip: Dict[int, int] = {}
         self._tenant_meta: Dict[int, TenantVM] = {}
         self._strikes: Dict[int, int] = {}
+        #: tenant id -> (chip it last migrated off, migration epoch);
+        #: the anti-bounce exclusion window.
+        self._last_migration: Dict[int, Tuple[int, int]] = {}
+        #: chip id -> epoch it rejoins the pool.
+        self._repair_at: Dict[int, int] = {}
+        self._repaired: set = set()
         self._next_tenant = 0
         self._epoch_stats: List[FleetEpochStats] = []
         self._violations: List[str] = []
         self._setup_done = False
+        self.journal: Optional[FleetJournal] = None
+
+    # -- chip lifecycle -------------------------------------------------------
+
+    def _build_chip(self, chip_id: int) -> FleetChip:
+        """A fresh socket (initial build, or a post-repair rebuild).
+
+        The seed folds in the chip's incarnation count so a repaired
+        chip's runtime is fresh hardware, not a replay of the machine
+        that failed — while staying a pure function of the scenario.
+        """
+        incarnation = self._incarnations[chip_id]
+        seed = (
+            self.scenario.seed * 1_000_003
+            + chip_id
+            + incarnation * 15_485_863
+        )
+        return FleetChip(
+            chip_id,
+            config=self._chip_config,
+            design=self.design_name,
+            seed=seed,
+            noc=self._noc,
+            history_limit=self.history_limit,
+        )
+
+    @property
+    def repaired_chips(self) -> List[int]:
+        """Chips repaired at least once this run (sorted)."""
+        return sorted(self._repaired)
 
     # -- counters -------------------------------------------------------------
 
@@ -204,38 +316,85 @@ class Fleet:
     def _live_chips(self) -> List[FleetChip]:
         return [c for c in self.chips if c.alive]
 
-    def _admit(self, spec: TenantSpec, epoch: int) -> bool:
-        """Admit one arriving tenant; False when the fleet is full."""
-        tenant_id = self._next_tenant
-        self._next_tenant += 1
+    def _forget_tenant(self, tenant_id: int) -> None:
+        self._strikes.pop(tenant_id, None)
+        self._last_migration.pop(tenant_id, None)
+
+    def _admit_spec(self, spec: TenantSpec, epoch: int) -> bool:
+        """Admit one arriving (or deferred) tenant; False = no room."""
         vm = TenantVM(
-            tenant_id=tenant_id,
+            tenant_id=self._next_tenant,
             lc_app=spec.lc_app,
             batch_apps=spec.batch_apps,
             arrival_epoch=epoch,
             lifetime_epochs=spec.lifetime_epochs,
         )
-        chip = self.scheduler.select(vm, self.chips)
+        chip = self.scheduler.select(
+            vm,
+            self.chips,
+            health=self.health,
+            rack_of=self.scenario.rack_of,
+        )
         if chip is None:
-            self._count("rejections")
             return False
+        self._next_tenant += 1
         with obs.span(
-            "fleet.admit", tenant=tenant_id, chip=chip.chip_id
+            "fleet.admit", tenant=vm.tenant_id, chip=chip.chip_id
         ):
             chip.admit(vm)
-        self.tenant_chip[tenant_id] = chip.chip_id
-        self._tenant_meta[tenant_id] = vm
+        self.tenant_chip[vm.tenant_id] = chip.chip_id
+        self._tenant_meta[vm.tenant_id] = vm
         self._count("admissions")
         return True
 
-    def _reschedule(self, vm: TenantVM) -> bool:
-        """Re-place a tenant displaced by a chip failure (fresh state)."""
-        chip = self.scheduler.select(vm, self.chips)
+    def _offer_arrival(self, spec: TenantSpec, epoch: int) -> None:
+        """One spec through admission control: place, defer, or reject."""
+        self._count("arrivals")
+        if self._admit_spec(spec, epoch):
+            return
+        entry = self.pending.offer(
+            spec, epoch, self.scenario.admission_patience
+        )
+        if entry is None:
+            # Queue full: backpressure turns into an explicit shed.
+            self._count("rejections")
+        else:
+            self._count("deferred")
+
+    def _run_admission(self, epoch: int) -> None:
+        """Expire, retry, then take this epoch's fresh arrivals."""
+        for entry in self.pending.expire(epoch):
+            # Patience ran out while waiting for capacity.
+            self._count("rejections")
+        for entry in self.pending.drain():
+            if not self._admit_spec(entry.spec, epoch):
+                self.pending.requeue(entry)
+        for spec in self.scenario.arrivals(epoch):
+            self._offer_arrival(spec, epoch)
+
+    def _reschedule(
+        self, vm: TenantVM, avoid_racks: FrozenSet[int]
+    ) -> bool:
+        """Re-place a tenant displaced by a chip failure (fresh state).
+
+        Prefers sockets *off* the racks that failed this epoch
+        (anti-affinity against the correlated blast radius) and healthy
+        over degraded chips, falling back when capacity is short.
+        """
+        chip = self.scheduler.select(
+            vm,
+            self.chips,
+            health=self.health,
+            avoid_racks=avoid_racks,
+            rack_of=self.scenario.rack_of,
+        )
         if chip is None:
-            # Nowhere to go: the tenant is lost, not left dangling.
+            # Nowhere to go: the tenant is lost, loudly — vms_lost is
+            # the conservation ledger's explicit account of it.
             self._tenant_meta.pop(vm.tenant_id, None)
-            self._strikes.pop(vm.tenant_id, None)
+            self._forget_tenant(vm.tenant_id)
             self._count("reschedule_failed")
+            self._count("vms_lost")
             return False
         with obs.span(
             "fleet.admit",
@@ -248,12 +407,25 @@ class Fleet:
         self._count("vms_rescheduled")
         return True
 
-    def _migrate(self, tenant_id: int) -> bool:
-        """Move a persistently violating tenant to a less-loaded socket."""
+    def _migrate(self, tenant_id: int, epoch: int) -> bool:
+        """Move a persistently violating tenant to a less-loaded socket.
+
+        The chip the tenant migrated off within the last epoch is
+        excluded, so the least-loaded tie-break cannot bounce a tenant
+        straight back to the socket it just fled.
+        """
         src = self.chips[self.tenant_chip[tenant_id]]
         vm = self._tenant_meta[tenant_id]
+        avoid = {src.chip_id}
+        last = self._last_migration.get(tenant_id)
+        if last is not None and epoch <= last[1] + 1:
+            avoid.add(last[0])
         target = self.scheduler.select(
-            vm, [c for c in self.chips if c.chip_id != src.chip_id]
+            vm,
+            self.chips,
+            health=self.health,
+            avoid_chips=frozenset(avoid),
+            rack_of=self.scenario.rack_of,
         )
         if target is None:
             self._count("migration_rejected")
@@ -267,6 +439,7 @@ class Fleet:
             _, sim = src.release(tenant_id)
             target.admit(vm, sim=sim)
         self.tenant_chip[tenant_id] = target.chip_id
+        self._last_migration[tenant_id] = (src.chip_id, epoch)
         self._count("migrations")
         return True
 
@@ -278,51 +451,97 @@ class Fleet:
             raise ConfigError("fleet already set up; build a new Fleet")
         self._setup_done = True
         for spec in self.scenario.initial_tenant_specs():
-            self._admit(spec, 0)
+            self._offer_arrival(spec, 0)
 
     def step(self, epoch: int) -> FleetEpochStats:
-        """One fleet epoch: failures, churn, chip ticks, migrations."""
+        """One fleet epoch: repairs, failures, churn, ticks, migrations."""
         if not self._setup_done:
             raise ConfigError("call setup() before step()")
         sc = self.scenario
         before = dict(self.counters)
+        violations_before = len(self._violations)
         with obs.span("fleet.tick", epoch=epoch):
+            # 0. Repairs whose MTTR elapsed: fresh hardware rejoins.
+            for chip_id in sorted(self._repair_at):
+                if self._repair_at[chip_id] > epoch:
+                    continue
+                del self._repair_at[chip_id]
+                with obs.span(
+                    "fleet.repair", chip=chip_id, epoch=epoch
+                ):
+                    self._incarnations[chip_id] += 1
+                    self.chips[chip_id] = self._build_chip(chip_id)
+                self.health.set_state(chip_id, epoch, "healthy")
+                self._repaired.add(chip_id)
+                self._count("repairs")
             # 1. Correlated chip failures. A rack dies as one event:
             #    every failing chip is dead before any displaced
             #    tenant is re-placed, so nobody is "rescued" onto a
             #    socket that is about to fail this same epoch.
             displaced: List[TenantVM] = []
+            failed_racks: set = set()
             for chip_id in sc.chip_failures(epoch):
                 chip = self.chips[chip_id]
                 if not chip.alive:
                     continue
                 displaced.extend(chip.fail())
+                failed_racks.add(sc.rack_of(chip_id))
+                delay = sc.repair_delay(chip_id, epoch)
+                if delay is None:
+                    self.health.set_state(chip_id, epoch, "failed")
+                else:
+                    self._repair_at[chip_id] = epoch + delay
+                    self.health.set_state(chip_id, epoch, "repairing")
                 self._count("chips_lost")
             for vm in displaced:
                 del self.tenant_chip[vm.tenant_id]
-                self._strikes.pop(vm.tenant_id, None)
+                self._forget_tenant(vm.tenant_id)
+            # 2. Straggler marking: chip_slow inflates service times
+            #    and deprioritises the chip for the rest of the epoch.
+            slow = {
+                chip_id
+                for chip_id in sc.slow_chips(epoch)
+                if self.chips[chip_id].alive
+            }
+            for chip in self.chips:
+                if not chip.alive:
+                    continue
+                self.health.set_state(
+                    chip.chip_id,
+                    epoch,
+                    "degraded" if chip.chip_id in slow else "healthy",
+                )
+            # 3. Re-place the displaced, off the failed racks when
+            #    capacity allows.
+            avoid_racks = frozenset(failed_racks)
             for vm in displaced:
-                self._reschedule(vm)
-            # 2. Lifetime-expired departures.
+                self._reschedule(vm, avoid_racks)
+            # 4. Lifetime-expired departures.
             for tenant_id in sorted(self.tenant_chip):
                 vm = self._tenant_meta[tenant_id]
                 if vm.departs_at <= epoch:
                     chip = self.chips[self.tenant_chip.pop(tenant_id)]
                     chip.release(tenant_id)
                     self._tenant_meta.pop(tenant_id)
-                    self._strikes.pop(tenant_id, None)
+                    self._forget_tenant(tenant_id)
                     self._count("departures")
-            # 3. Poisson arrivals (flash-boosted).
-            for spec in sc.arrivals(epoch):
-                self._admit(spec, epoch)
-            # 4. Per-socket Jumanji epochs under the diurnal load.
+            # 5. Admission control: expiries, deferred retries, then
+            #    this epoch's Poisson arrivals (flash-boosted).
+            self._run_admission(epoch)
+            # 6. Per-socket Jumanji epochs under the diurnal load;
+            #    stragglers serve inflated service times.
             load = sc.load_factor(epoch)
             ratios: Dict[int, float] = {}
             for chip in self.chips:
                 if not chip.alive or not chip.tenants:
                     continue
+                factor = (
+                    sc.slow_service_factor
+                    if chip.chip_id in slow
+                    else 1.0
+                )
                 try:
-                    chip_ratios = chip.tick(epoch, load)
+                    chip_ratios = chip.tick(epoch, load, factor)
                 except AllocationInvalid as exc:
                     self._violations.append(
                         f"epoch {epoch}: chip {chip.chip_id} broke "
@@ -330,7 +549,7 @@ class Fleet:
                     )
                     continue
                 ratios.update(chip_ratios)
-            # 5. SLA accounting + strike-driven migrations.
+            # 7. SLA accounting + strike-driven migrations.
             for tenant_id in sorted(ratios):
                 ratio = min(ratios[tenant_id], RATIO_CLAMP)
                 ratios[tenant_id] = ratio
@@ -352,18 +571,27 @@ class Fleet:
                     >= sc.migration_patience
                     and tenant_id in self.tenant_chip
                 ):
-                    self._migrate(tenant_id)
+                    self._migrate(tenant_id, epoch)
                     self._strikes[tenant_id] = 0
         self._violations.extend(self.audit(epoch))
         values = [ratios[t] for t in sorted(ratios)]
         live = len(self._live_chips())
+        health_counts = self.health.counts()
         obs.gauge_set("fleet.tenants", len(self.tenant_chip))
         obs.gauge_set("fleet.live_chips", live)
+        obs.gauge_set("fleet.pending", len(self.pending))
+        for state, count in health_counts.items():
+            obs.gauge_set(f"fleet.{state}_chips", count)
         stats = FleetEpochStats(
             epoch=epoch,
             load_factor=load,
             live_chips=live,
             tenants=len(self.tenant_chip),
+            pending=len(self.pending),
+            healthy_chips=health_counts["healthy"],
+            degraded_chips=health_counts["degraded"],
+            failed_chips=health_counts["failed"],
+            repairing_chips=health_counts["repairing"],
             mean_ratio=(sum(values) / len(values)) if values else 0.0,
             p95_ratio=percentile(values, 95.0) if values else 0.0,
             **{
@@ -372,16 +600,27 @@ class Fleet:
             },
         )
         self._epoch_stats.append(stats)
+        if self.journal is not None:
+            self.journal.append_epoch(
+                epoch,
+                asdict(stats),
+                dict(self.counters),
+                self._violations[violations_before:],
+            )
         return stats
 
     def audit(self, epoch: int) -> List[str]:
-        """Check conservation and capacity; returns violation strings.
+        """Check conservation, capacity, and the arrival ledger.
 
         Conservation: every admitted tenant is on exactly one live
         chip, and the scheduler's registry agrees with the chips' own
         books. Capacity: no chip over its core count or its one-bank-
-        per-VM budget. (Isolation is validated per-placement inside
-        :meth:`FleetChip.tick`.)
+        per-VM budget, and the pending queue inside its bound. Ledger:
+        every arrival is admitted, still pending, or rejected —
+        ``arrivals == admissions + pending + rejections`` — and every
+        admission is resident, departed, or explicitly lost —
+        ``admissions == resident + departures + vms_lost``. (Isolation
+        is validated per-placement inside :meth:`FleetChip.tick`.)
         """
         problems: List[str] = []
         seen: Dict[int, int] = {}
@@ -430,7 +669,81 @@ class Fleet:
                     f"budget ({len(chip.tenants)}/"
                     f"{chip.config.num_banks} VMs)"
                 )
+        c = self.counters
+        pending = len(self.pending)
+        if c["arrivals"] != c["admissions"] + pending + c["rejections"]:
+            problems.append(
+                f"epoch {epoch}: arrival ledger leak "
+                f"(arrivals={c['arrivals']} != "
+                f"admissions={c['admissions']} + pending={pending} + "
+                f"rejections={c['rejections']})"
+            )
+        if c["admissions"] != (
+            len(self.tenant_chip) + c["departures"] + c["vms_lost"]
+        ):
+            problems.append(
+                f"epoch {epoch}: admission ledger leak "
+                f"(admissions={c['admissions']} != "
+                f"resident={len(self.tenant_chip)} + "
+                f"departures={c['departures']} + "
+                f"lost={c['vms_lost']})"
+            )
+        if pending > self.scenario.pending_limit:
+            problems.append(
+                f"epoch {epoch}: pending queue over its bound "
+                f"({pending}/{self.scenario.pending_limit})"
+            )
         return problems
+
+    # -- checkpoint/resume ----------------------------------------------------
+
+    def attach_journal(self, journal: Optional[FleetJournal]) -> None:
+        """Journal every completed epoch from now on (crash safety)."""
+        self.journal = journal
+
+    def resume_from(self, state: JournalState) -> int:
+        """Rebuild in-memory state by replaying journaled epochs.
+
+        Fleet runs are deterministic in their seed, so replaying the
+        recorded prefix reconstructs runtimes, queueing backlogs, and
+        RNG positions exactly; every replayed epoch is *verified*
+        against its journal record so code or scenario drift between
+        crash and resume fails loudly (:class:`~repro.errors.
+        ConfigError`) instead of silently diverging. Returns the first
+        epoch still to run.
+        """
+        if self._setup_done:
+            raise ConfigError(
+                "resume_from needs a fresh fleet; build a new one"
+            )
+        journal, self.journal = self.journal, None
+        try:
+            with obs.span(
+                "fleet.resume", epochs=len(state.epochs)
+            ):
+                self.setup()
+                for record in state.epochs:
+                    epoch = record["epoch"]
+                    stats = self.step(epoch)
+                    if _canonical(asdict(stats)) != record["stats"]:
+                        raise ConfigError(
+                            f"fleet journal drift at epoch {epoch}: "
+                            "the journaled stats no longer match a "
+                            "same-seed replay (code or scenario "
+                            "changed since the crash); delete the "
+                            "checkpoint to start over"
+                        )
+                if state.epochs:
+                    last = state.epochs[-1]
+                    if _canonical(dict(self.counters)) != last["counters"]:
+                        raise ConfigError(
+                            "fleet journal drift: cumulative counters "
+                            "diverged from the journaled run; delete "
+                            "the checkpoint to start over"
+                        )
+        finally:
+            self.journal = journal
+        return state.next_epoch
 
     def result(self) -> FleetResult:
         """The run so far as a canonical, comparable result."""
@@ -454,8 +767,33 @@ def run_fleet(
     scenario: Scenario,
     design: str = "Jumanji",
     chip_config: Optional[SystemConfig] = None,
+    checkpoint: Optional[Any] = None,
 ) -> FleetResult:
-    """Build a fleet for ``scenario`` and run it end to end."""
-    return Fleet(
-        scenario, design=design, chip_config=chip_config
-    ).run()
+    """Build a fleet for ``scenario`` and run it end to end.
+
+    With ``checkpoint`` (a path), the run is crash-safe: every
+    completed epoch is journaled, and a journal left behind by a killed
+    run — same scenario, same design — is resumed instead of restarted,
+    producing a result byte-identical to an uninterrupted run. A
+    journal for a *different* scenario or design is discarded and the
+    run starts fresh.
+    """
+    fleet = Fleet(scenario, design=design, chip_config=chip_config)
+    if checkpoint is None:
+        return fleet.run()
+    journal = FleetJournal(checkpoint)
+    state = journal.load()
+    fleet.attach_journal(journal)
+    start = 0
+    if (
+        state is not None
+        and state.scenario == _canonical(scenario.as_params())
+        and state.design == design
+    ):
+        start = fleet.resume_from(state)
+    else:
+        journal.write_header(scenario.as_params(), design)
+        fleet.setup()
+    for epoch in range(start, scenario.epochs):
+        fleet.step(epoch)
+    return fleet.result()

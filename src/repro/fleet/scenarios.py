@@ -105,14 +105,22 @@ class Scenario:
     flash_epochs: int = 2
     #: Chips per failure-correlation domain (enclosure/PDU).
     rack_size: int = 8
-    #: Correlated-failure driver; ``None`` disables failures. Only the
-    #: ``chip_failure`` site is consulted, once per rack per epoch.
+    #: Correlated-failure driver; ``None`` disables failures. The
+    #: ``chip_failure`` site is rolled once per rack per epoch,
+    #: ``chip_repair`` once per failed chip (an MTTR delay rides on the
+    #: same key), and ``chip_slow`` once per chip per epoch.
     fault_plan: Optional[FaultPlan] = None
     #: tail/deadline ratio above which an epoch counts as an SLA
     #: violation (the paper's panic threshold).
     sla_threshold: float = 1.10
     #: Consecutive violating epochs before the scheduler migrates.
     migration_patience: int = 3
+    #: Epochs a deferred arrival waits in the pending queue before it
+    #: is rejected (admission-control backpressure).
+    admission_patience: int = 4
+    #: Bound on the pending-arrivals queue; overflow is rejected
+    #: immediately so thousand-chip runs stay memory-bounded.
+    pending_limit: int = 64
 
     def __post_init__(self) -> None:
         if self.chips < 1:
@@ -143,6 +151,10 @@ class Scenario:
             raise ConfigError("sla_threshold must be positive")
         if self.migration_patience < 1:
             raise ConfigError("migration_patience must be >= 1")
+        if self.admission_patience < 1:
+            raise ConfigError("admission_patience must be >= 1")
+        if self.pending_limit < 0:
+            raise ConfigError("pending_limit must be >= 0")
 
     # -- resolved defaults ----------------------------------------------------
 
@@ -262,6 +274,59 @@ class Scenario:
                     )
                 )
         return failed
+
+    # -- repair & degradation (the self-healing half) -------------------------
+
+    def repair_delay(
+        self, chip_id: int, failed_epoch: int
+    ) -> Optional[int]:
+        """Epochs until a chip failed at ``failed_epoch`` is repaired.
+
+        ``None`` means the chip is *not* repairable (no plan, the
+        ``chip_repair`` site is off, or its per-failure roll spared
+        this chip) and stays dead for the rest of the run. When the
+        site fires, an MTTR-style exponential delay with mean
+        ``plan.repair_mttr_epochs`` is drawn from the same decision key
+        (attempt 1), floored at one epoch so a chip never fails and
+        rejoins within the same epoch. Pure function of
+        ``(seed, chip, failed_epoch)`` — tests recompute the repair
+        schedule independently of the fleet's bookkeeping.
+        """
+        plan = self.fault_plan
+        if plan is None or plan.chip_repair <= 0.0:
+            return None
+        key = f"chip:{chip_id}:fail:{failed_epoch}"
+        if not plan.fires("chip_repair", key):
+            return None
+        u = plan.roll("chip_repair", key, attempt=1)
+        # Inverse-CDF exponential; u < 1 by construction.
+        delay = -plan.repair_mttr_epochs * math.log(1.0 - u)
+        return max(1, 1 + int(delay))
+
+    def slow_chips(self, epoch: int) -> List[int]:
+        """Chip ids acting as stragglers at ``epoch``.
+
+        One ``chip_slow`` roll per chip per epoch: while it fires the
+        chip's queueing service times are inflated by
+        ``plan.slow_service_factor`` and the scheduler deprioritises
+        the chip. Pure and order-independent, like
+        :meth:`chip_failures`.
+        """
+        plan = self.fault_plan
+        if plan is None or plan.chip_slow <= 0.0:
+            return []
+        return [
+            chip_id
+            for chip_id in range(self.chips)
+            if plan.fires("chip_slow", f"chip:{chip_id}:epoch:{epoch}")
+        ]
+
+    @property
+    def slow_service_factor(self) -> float:
+        """Service-time inflation on straggler chips (1.0 = no plan)."""
+        if self.fault_plan is None:
+            return 1.0
+        return self.fault_plan.slow_service_factor
 
     # -- canonical form -------------------------------------------------------
 

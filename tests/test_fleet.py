@@ -263,17 +263,54 @@ class TestFleetRun:
         problems = fleet.audit(0)
         assert any("divergence" in p for p in problems)
 
-    def test_rejections_when_overfull(self):
-        # 1 chip, 4 banks, 10 initial tenants: at most 4 admitted.
+    def test_overfull_arrivals_defer_then_reject(self):
+        # 1 chip, 4 banks, 10 initial tenants: at most 4 admitted;
+        # the rest wait in the pending queue (backpressure) and are
+        # rejected only when their admission patience runs out.
         sc = Scenario(
-            chips=1, epochs=1, initial_tenants=10, arrival_rate=0.0
+            chips=1,
+            epochs=4,
+            initial_tenants=10,
+            arrival_rate=0.0,
+            mean_lifetime_epochs=50.0,
+            admission_patience=2,
         )
         fleet = Fleet(sc)
         fleet.setup()
         counters = fleet.counters
         assert counters["admissions"] <= 4
+        assert counters["rejections"] == 0
+        deferred = len(fleet.pending)
         assert (
-            counters["admissions"] + counters["rejections"] == 10
+            counters["admissions"] + deferred
+            == counters["arrivals"]
+            == 10
+        )
+        assert counters["deferred"] == deferred
+        # Nobody departs, so patience expires the whole queue — as
+        # audited rejections, not silent drops.
+        for epoch in range(sc.epochs):
+            fleet.step(epoch)
+        assert len(fleet.pending) == 0
+        assert counters["rejections"] == deferred
+        assert fleet.audit(sc.epochs) == []
+
+    def test_overflow_of_pending_queue_rejects(self):
+        sc = Scenario(
+            chips=1,
+            epochs=1,
+            initial_tenants=10,
+            arrival_rate=0.0,
+            pending_limit=2,
+        )
+        fleet = Fleet(sc)
+        fleet.setup()
+        counters = fleet.counters
+        assert counters["admissions"] <= 4
+        assert counters["deferred"] == 2
+        assert len(fleet.pending) == 2
+        assert (
+            counters["admissions"] + 2 + counters["rejections"] == 10
         )
 
     def test_run_fleet_helper_matches_fleet_run(self):

@@ -34,16 +34,27 @@ GOLDEN_PATH = (
 )
 TOL = 1e-9
 
-#: Small but eventful: every counter is non-zero at this scale/seed.
+#: Small but eventful: every counter is non-zero at this scale/seed —
+#: including the resilience paths (repairs, stragglers, deferred and
+#: rejected arrivals, lost reschedules).
 SCENARIO = Scenario(
     chips=8,
     epochs=50,
-    seed=13,
+    seed=7,
     rack_size=2,
+    initial_tenants=24,
     arrival_rate=1.0,
     mean_lifetime_epochs=12.0,
     flash_prob=0.1,
-    fault_plan=FaultPlan(seed=13, chip_failure=0.02),
+    admission_patience=3,
+    pending_limit=8,
+    fault_plan=FaultPlan(
+        seed=7,
+        chip_failure=0.02,
+        chip_repair=0.7,
+        chip_slow=0.05,
+        repair_mttr_epochs=3.0,
+    ),
 )
 
 FLOAT_FIELDS = ("load_factor", "mean_ratio", "p95_ratio")
@@ -101,6 +112,11 @@ class TestFleetGolden:
             "migrations",
             "chips_lost",
             "vms_rescheduled",
+            "arrivals",
+            "deferred",
+            "rejections",
+            "vms_lost",
+            "repairs",
         } <= nonzero
 
 

@@ -1,0 +1,725 @@
+"""Fleet self-healing, admission control, and crash-safe resume.
+
+Covers the resilience layer end to end (ISSUE 8 tentpole):
+
+* the two new seeded fault sites (``chip_repair``, ``chip_slow``) and
+  their pure per-(seed, site, key) draw discipline;
+* the ``healthy -> degraded -> failed -> repairing -> healthy`` chip
+  lifecycle, with the repaired socket rebuilt as fresh hardware;
+* health- and topology-aware scheduling tiers (rack anti-affinity
+  binds harder than degradation) and the anti-bounce migration window;
+* admission-control backpressure: the bounded pending queue, patience
+  expiry, overflow rejection, and the closing arrival ledger;
+* the crash-safe journal: durability semantics, truncated-tail
+  tolerance, drift detection, and byte-identical resume at arbitrary
+  interrupt points — including a real ``kill -9`` of a ``repro fleet
+  run --checkpoint`` subprocess (chaos-marked).
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FAULT_SITES, FaultPlan
+from repro.fleet import (
+    AdmissionQueue,
+    Fleet,
+    FleetJournal,
+    HealthTracker,
+    HEALTH_STATES,
+    Scenario,
+    run_fleet,
+)
+from repro.fleet.chip import TenantVM
+from repro.fleet.scenarios import TenantSpec
+
+pytestmark = [pytest.mark.fleet, pytest.mark.resilience]
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+# --------------------------------------------------------------------------
+# Fault sites
+# --------------------------------------------------------------------------
+
+
+class TestFaultSites:
+    def test_new_sites_registered(self):
+        assert "chip_repair" in FAULT_SITES
+        assert "chip_slow" in FAULT_SITES
+
+    def test_probability_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, chip_repair=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, chip_slow=-0.1)
+
+    def test_mttr_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, repair_mttr_epochs=0.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, repair_mttr_epochs=-1.0)
+
+    def test_slow_factor_must_not_speed_up(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, slow_service_factor=0.5)
+        FaultPlan(seed=0, slow_service_factor=1.0)  # boundary ok
+
+
+class TestScenarioDraws:
+    def test_no_plan_means_no_resilience_events(self):
+        sc = Scenario(chips=4, epochs=3, seed=1)
+        assert sc.repair_delay(0, 0) is None
+        assert sc.slow_chips(0) == []
+        assert sc.slow_service_factor == 1.0
+
+    def test_repair_site_off_means_unrepairable(self):
+        sc = Scenario(
+            chips=4, epochs=3, seed=1,
+            fault_plan=FaultPlan(seed=1, chip_failure=0.5),
+        )
+        assert all(
+            sc.repair_delay(c, e) is None
+            for c in range(4) for e in range(3)
+        )
+
+    def test_certain_repair_always_grants_a_delay(self):
+        sc = Scenario(
+            chips=6, epochs=4, seed=9,
+            fault_plan=FaultPlan(
+                seed=9, chip_failure=0.5, chip_repair=1.0,
+                repair_mttr_epochs=2.0,
+            ),
+        )
+        delays = [
+            sc.repair_delay(c, e)
+            for c in range(6) for e in range(4)
+        ]
+        assert all(d is not None and d >= 1 for d in delays)
+        # Not all identical: the MTTR draw actually varies per key.
+        assert len(set(delays)) > 1
+
+    def test_draws_are_pure(self):
+        sc = Scenario(
+            chips=8, epochs=5, seed=3,
+            fault_plan=FaultPlan(
+                seed=3, chip_failure=0.3, chip_repair=0.6,
+                chip_slow=0.4,
+            ),
+        )
+        for epoch in range(5):
+            assert sc.slow_chips(epoch) == sc.slow_chips(epoch)
+            assert set(sc.slow_chips(epoch)) <= set(range(8))
+            for chip in range(8):
+                assert sc.repair_delay(chip, epoch) == sc.repair_delay(
+                    chip, epoch
+                )
+
+    def test_slow_factor_comes_from_the_plan(self):
+        sc = Scenario(
+            chips=2, epochs=1, seed=0,
+            fault_plan=FaultPlan(
+                seed=0, chip_slow=0.5, slow_service_factor=3.5
+            ),
+        )
+        assert sc.slow_service_factor == 3.5
+
+    def test_admission_knob_validation(self):
+        with pytest.raises(ConfigError):
+            Scenario(chips=2, epochs=1, admission_patience=0)
+        with pytest.raises(ConfigError):
+            Scenario(chips=2, epochs=1, pending_limit=-1)
+
+
+# --------------------------------------------------------------------------
+# HealthTracker
+# --------------------------------------------------------------------------
+
+
+class TestHealthTracker:
+    def test_starts_all_healthy(self):
+        tracker = HealthTracker(3)
+        assert all(tracker.state(c) == "healthy" for c in range(3))
+        assert tracker.counts() == {
+            "healthy": 3, "degraded": 0, "failed": 0, "repairing": 0
+        }
+
+    def test_transitions_are_recorded_once(self):
+        tracker = HealthTracker(2)
+        assert tracker.set_state(0, 1, "degraded") is True
+        assert tracker.set_state(0, 2, "degraded") is False  # no-op
+        assert tracker.set_state(0, 3, "repairing") is True
+        assert tracker.history(0) == [(1, "degraded"), (3, "repairing")]
+        assert tracker.history(1) == []
+
+    def test_unknown_state_rejected(self):
+        tracker = HealthTracker(1)
+        with pytest.raises(ConfigError):
+            tracker.set_state(0, 0, "on-fire")
+
+    def test_schedulability_by_state(self):
+        tracker = HealthTracker(4)
+        for chip, state in enumerate(HEALTH_STATES):
+            tracker.set_state(chip, 0, state)
+        assert tracker.schedulable(0)  # healthy
+        assert tracker.schedulable(1)  # degraded
+        assert not tracker.schedulable(2)  # failed
+        assert not tracker.schedulable(3)  # repairing
+
+    def test_history_is_ring_buffered(self):
+        tracker = HealthTracker(1, history_limit=4)
+        for epoch in range(20):
+            state = "degraded" if epoch % 2 == 0 else "healthy"
+            tracker.set_state(0, epoch, state)
+        history = tracker.history(0)
+        assert len(history) == 4
+        assert history[-1][0] == 19  # newest kept, oldest dropped
+        assert history[0][0] == 16
+
+
+# --------------------------------------------------------------------------
+# AdmissionQueue
+# --------------------------------------------------------------------------
+
+
+def _spec(lifetime=5):
+    return TenantSpec("xapian", (), lifetime)
+
+
+class TestAdmissionQueue:
+    def test_fifo_defer_and_drain(self):
+        q = AdmissionQueue(limit=3)
+        entries = [q.offer(_spec(i + 1), epoch=0, patience=4)
+                   for i in range(3)]
+        assert all(e is not None for e in entries)
+        assert len(q) == 3 and q.full
+        drained = q.drain()
+        assert drained == entries  # arrival order preserved
+        assert len(q) == 0
+        q.requeue(drained[1])
+        assert q.snapshot() == [drained[1]]
+
+    def test_overflow_returns_none(self):
+        q = AdmissionQueue(limit=1)
+        assert q.offer(_spec(), 0, 4) is not None
+        assert q.offer(_spec(), 0, 4) is None
+        assert len(q) == 1
+
+    def test_zero_limit_is_always_full(self):
+        q = AdmissionQueue(limit=0)
+        assert q.full
+        assert q.offer(_spec(), 0, 4) is None
+
+    def test_expiry_respects_patience(self):
+        q = AdmissionQueue(limit=8)
+        early = q.offer(_spec(), epoch=0, patience=2)  # expires at 2
+        late = q.offer(_spec(), epoch=1, patience=4)   # expires at 5
+        assert q.expire(1) == []
+        assert q.expire(2) == [early]
+        assert q.snapshot() == [late]
+        assert q.expire(5) == [late]
+        assert len(q) == 0
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(limit=-1)
+
+
+# --------------------------------------------------------------------------
+# Health- and topology-aware scheduling
+# --------------------------------------------------------------------------
+
+
+def _vm(tenant_id, cores=1):
+    return TenantVM(
+        tenant_id=tenant_id,
+        lc_app="xapian",
+        batch_apps=("401.bzip2",) * (cores - 1),
+        arrival_epoch=0,
+        lifetime_epochs=10,
+    )
+
+
+class TestSchedulerTiers:
+    def _fleet(self, chips=4, rack_size=2):
+        fleet = Fleet(Scenario(
+            chips=chips, epochs=1, seed=0, rack_size=rack_size,
+            initial_tenants=0, arrival_rate=0.0,
+        ))
+        fleet.setup()
+        return fleet
+
+    def test_degraded_chip_deprioritised_even_if_emptier(self):
+        fleet = self._fleet()
+        # Chip 0 is emptier but degraded; the scheduler must still
+        # prefer a loaded-but-healthy socket.
+        fleet.health.set_state(0, 0, "degraded")
+        fleet.chips[1].admit(_vm(100, cores=2))
+        chosen = fleet.scheduler.select(
+            _vm(0), fleet.chips, health=fleet.health,
+            rack_of=fleet.scenario.rack_of,
+        )
+        assert chosen is not None
+        assert fleet.health.state(chosen.chip_id) == "healthy"
+
+    def test_degraded_is_soft_fallback(self):
+        fleet = self._fleet(chips=2, rack_size=1)
+        fleet.health.set_state(0, 0, "degraded")
+        fleet.chips[1].fail()
+        chosen = fleet.scheduler.select(
+            _vm(0), fleet.chips, health=fleet.health,
+            rack_of=fleet.scenario.rack_of,
+        )
+        assert chosen is fleet.chips[0]  # better a straggler than nothing
+
+    def test_rack_anti_affinity_binds_harder_than_health(self):
+        fleet = self._fleet(chips=4, rack_size=2)
+        # Rack 0 = chips {0,1}, rack 1 = chips {2,3}. Rack 1 is
+        # avoided; its chips are healthy, rack 0's are degraded — the
+        # off-blast-radius degraded chips must still win.
+        fleet.health.set_state(0, 0, "degraded")
+        fleet.health.set_state(1, 0, "degraded")
+        chosen = fleet.scheduler.select(
+            _vm(0), fleet.chips, health=fleet.health,
+            avoid_racks=frozenset({1}),
+            rack_of=fleet.scenario.rack_of,
+        )
+        assert chosen is not None
+        assert fleet.scenario.rack_of(chosen.chip_id) == 0
+
+    def test_avoid_racks_is_soft(self):
+        fleet = self._fleet(chips=2, rack_size=1)
+        fleet.chips[0].fail()  # only rack 1 has capacity
+        chosen = fleet.scheduler.select(
+            _vm(0), fleet.chips, health=fleet.health,
+            avoid_racks=frozenset({1}),
+            rack_of=fleet.scenario.rack_of,
+        )
+        assert chosen is fleet.chips[1]
+
+    def test_avoid_chips_is_hard(self):
+        fleet = self._fleet(chips=2, rack_size=1)
+        chosen = fleet.scheduler.select(
+            _vm(0), fleet.chips, health=fleet.health,
+            avoid_chips=frozenset({0, 1}),
+            rack_of=fleet.scenario.rack_of,
+        )
+        assert chosen is None
+
+
+class TestAntiBounceMigration:
+    """ISSUE 8 satellite: a migrated tenant must not ping-pong back to
+    the socket it just fled on the very next decision."""
+
+    def _fleet(self):
+        fleet = Fleet(Scenario(
+            chips=2, epochs=1, seed=0, rack_size=1,
+            initial_tenants=0, arrival_rate=0.0,
+        ))
+        fleet.setup()
+        return fleet
+
+    def _admit(self, fleet, tenant_id, chip_id):
+        vm = _vm(tenant_id)
+        fleet.chips[chip_id].admit(vm)
+        fleet.tenant_chip[tenant_id] = chip_id
+        fleet._tenant_meta[tenant_id] = vm
+        return vm
+
+    def test_source_chip_excluded_for_one_epoch(self):
+        fleet = self._fleet()
+        self._admit(fleet, 0, 0)
+        assert fleet._migrate(0, epoch=3)
+        assert fleet.tenant_chip[0] == 1
+        # Next epoch: both the current socket (1) and the one it just
+        # fled (0) are excluded — the migration must be rejected
+        # rather than bounce straight back.
+        assert not fleet._migrate(0, epoch=4)
+        assert fleet.tenant_chip[0] == 1
+        assert fleet.counters["migration_rejected"] == 1
+
+    def test_exclusion_window_expires(self):
+        fleet = self._fleet()
+        self._admit(fleet, 0, 0)
+        assert fleet._migrate(0, epoch=3)
+        # Two epochs later the window is over; returning is allowed
+        # again (chip 0 is the only other socket).
+        assert fleet._migrate(0, epoch=5)
+        assert fleet.tenant_chip[0] == 0
+        assert fleet.counters["migrations"] == 2
+
+
+# --------------------------------------------------------------------------
+# Repair lifecycle
+# --------------------------------------------------------------------------
+
+
+STORM = Scenario(
+    chips=8,
+    epochs=16,
+    seed=11,
+    rack_size=2,
+    arrival_rate=2.0,
+    mean_lifetime_epochs=8.0,
+    admission_patience=3,
+    pending_limit=8,
+    fault_plan=FaultPlan(
+        seed=11,
+        chip_failure=0.1,
+        chip_repair=0.9,
+        chip_slow=0.1,
+        repair_mttr_epochs=2.0,
+    ),
+)
+
+
+class TestRepairLifecycle:
+    @pytest.fixture(scope="class")
+    def storm_fleet(self):
+        fleet = Fleet(STORM)
+        fleet.setup()
+        for epoch in range(STORM.epochs):
+            fleet.step(epoch)
+        return fleet
+
+    def test_storm_heals_and_holds_invariants(self, storm_fleet):
+        result = storm_fleet.result()
+        assert result.ok
+        assert result.counters["chips_lost"] > 0
+        assert result.counters["repairs"] > 0
+        assert storm_fleet.repaired_chips
+
+    def test_repaired_chips_are_back_in_service(self, storm_fleet):
+        serving = [
+            c for c in storm_fleet.repaired_chips
+            if storm_fleet.chips[c].alive
+            and storm_fleet.chips[c].tenants
+        ]
+        assert serving, "no repaired chip ever served a tenant again"
+
+    def test_lifecycle_transitions_follow_the_state_machine(
+        self, storm_fleet
+    ):
+        # Every repairing entry in the history must be followed by a
+        # healthy one (the rejoin) unless the run ended mid-repair.
+        for chip_id in range(STORM.chips):
+            history = storm_fleet.health.history(chip_id)
+            for i, (epoch, state) in enumerate(history):
+                if state != "repairing":
+                    continue
+                rest = [s for _, s in history[i + 1:]]
+                if chip_id in storm_fleet._repair_at:
+                    continue  # still under repair at end of run
+                assert rest and rest[0] == "healthy", (
+                    f"chip {chip_id} left 'repairing' via {rest[:1]}"
+                )
+
+    def test_repair_schedule_matches_plan_draws(self, storm_fleet):
+        """The fleet's repair bookkeeping is exactly what the pure
+        scenario draws predict — recomputed independently here."""
+        alive = set(range(STORM.chips))
+        repair_at = {}
+        expected_repairs = 0
+        for epoch in range(STORM.epochs):
+            for chip_id in sorted(repair_at):
+                if repair_at[chip_id] <= epoch:
+                    del repair_at[chip_id]
+                    alive.add(chip_id)
+                    expected_repairs += 1
+            for chip_id in STORM.chip_failures(epoch):
+                if chip_id not in alive:
+                    continue
+                alive.discard(chip_id)
+                delay = STORM.repair_delay(chip_id, epoch)
+                if delay is not None:
+                    repair_at[chip_id] = epoch + delay
+        assert storm_fleet.counters["repairs"] == expected_repairs
+        assert storm_fleet._repair_at == repair_at
+        assert {
+            c for c in range(STORM.chips)
+            if storm_fleet.chips[c].alive
+        } == alive
+
+    def test_repaired_chip_is_fresh_hardware(self):
+        """A rebuilt socket starts empty with a new runtime seed — not
+        a resurrected copy of the machine that failed."""
+        fleet = Fleet(STORM)
+        original = fleet.chips[0]
+        original.admit(_vm(0))
+        fleet._incarnations[0] += 1
+        rebuilt = fleet._build_chip(0)
+        assert rebuilt is not original
+        assert rebuilt.alive and not rebuilt.tenants
+        assert rebuilt.seed != original.seed
+
+
+# --------------------------------------------------------------------------
+# Admission ledger
+# --------------------------------------------------------------------------
+
+
+class TestAdmissionLedger:
+    def test_ledger_closes_every_epoch_under_pressure(self):
+        sc = Scenario(
+            chips=2, epochs=10, seed=4, rack_size=1,
+            initial_tenants=12, arrival_rate=3.0,
+            mean_lifetime_epochs=4.0,
+            admission_patience=2, pending_limit=4,
+        )
+        fleet = Fleet(sc)
+        fleet.setup()
+        for epoch in range(sc.epochs):
+            fleet.step(epoch)
+            c = fleet.counters
+            assert c["arrivals"] == (
+                c["admissions"] + len(fleet.pending) + c["rejections"]
+            )
+            assert c["admissions"] == (
+                len(fleet.tenant_chip) + c["departures"] + c["vms_lost"]
+            )
+            assert len(fleet.pending) <= sc.pending_limit
+        assert fleet.counters["deferred"] > 0
+        assert fleet.counters["rejections"] > 0
+        assert fleet.result().ok
+
+    def test_deferred_arrival_admitted_when_capacity_frees(self):
+        sc = Scenario(
+            chips=1, epochs=6, seed=0, rack_size=1,
+            initial_tenants=0, arrival_rate=0.0,
+            admission_patience=5, pending_limit=4,
+        )
+        fleet = Fleet(sc)
+        fleet.setup()
+        # Fill the only chip, then defer one more arrival.
+        for t in range(4):
+            fleet._offer_arrival(_spec(lifetime=2), 0)
+        fleet._offer_arrival(_spec(lifetime=8), 0)
+        assert fleet.counters["deferred"] == 1
+        assert len(fleet.pending) == 1
+        # Lifetimes expire at epoch 2; the waiter must then be seated.
+        for epoch in range(3):
+            fleet.step(epoch)
+        assert len(fleet.pending) == 0
+        assert fleet.counters["admissions"] == 5
+        assert fleet.counters["rejections"] == 0
+
+
+# --------------------------------------------------------------------------
+# Journal + resume
+# --------------------------------------------------------------------------
+
+
+CK_SCENARIO = Scenario(
+    chips=6,
+    epochs=10,
+    seed=13,
+    rack_size=2,
+    initial_tenants=10,
+    arrival_rate=1.5,
+    flash_prob=0.1,
+    admission_patience=3,
+    pending_limit=6,
+    fault_plan=FaultPlan(
+        seed=13,
+        chip_failure=0.06,
+        chip_repair=0.8,
+        chip_slow=0.1,
+        repair_mttr_epochs=2.0,
+    ),
+)
+
+
+def _run_partial(path, epochs):
+    """A journaled run abandoned after ``epochs`` (in-process crash)."""
+    fleet = Fleet(CK_SCENARIO)
+    journal = FleetJournal(path)
+    journal.write_header(CK_SCENARIO.as_params(), "Jumanji")
+    fleet.attach_journal(journal)
+    fleet.setup()
+    for epoch in range(epochs):
+        fleet.step(epoch)
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "fleet.journal"
+        _run_partial(path, 3)
+        state = FleetJournal(path).load()
+        assert state is not None
+        assert state.design == "Jumanji"
+        assert state.scenario == json.loads(
+            json.dumps(CK_SCENARIO.as_params(), sort_keys=True)
+        )
+        assert state.next_epoch == 3
+        assert [r["epoch"] for r in state.epochs] == [0, 1, 2]
+
+    def test_missing_or_headerless_file(self, tmp_path):
+        assert FleetJournal(tmp_path / "absent").load() is None
+        empty = tmp_path / "empty"
+        empty.write_text("")
+        assert FleetJournal(empty).load() is None
+        garbled = tmp_path / "garbled"
+        garbled.write_text("not json\n")
+        assert FleetJournal(garbled).load() is None
+
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "fleet.journal"
+        _run_partial(path, 3)
+        text = path.read_text()
+        lines = text.splitlines()
+        # Simulate a crash mid-write: cut the last line in half.
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: 20])
+        state = FleetJournal(path).load()
+        assert state is not None
+        assert state.next_epoch == 2  # epoch 2's record was cut
+
+    def test_non_contiguous_epochs_stop_the_parse(self, tmp_path):
+        path = tmp_path / "fleet.journal"
+        _run_partial(path, 3)
+        lines = path.read_text().splitlines()
+        # Drop epoch 1's line: epoch 2's record is then untrustworthy.
+        path.write_text("\n".join([lines[0], lines[1], lines[3]]) + "\n")
+        state = FleetJournal(path).load()
+        assert state.next_epoch == 1
+
+    def test_clear_forgets_progress(self, tmp_path):
+        path = tmp_path / "fleet.journal"
+        _run_partial(path, 2)
+        journal = FleetJournal(path)
+        journal.clear()
+        assert journal.load() is None
+        journal.clear()  # idempotent
+
+
+class TestResume:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_fleet(CK_SCENARIO).to_json()
+
+    @pytest.mark.parametrize(
+        "interrupt_at", [0, 1, 5, CK_SCENARIO.epochs - 1]
+    )
+    def test_resume_is_byte_identical(
+        self, tmp_path, baseline, interrupt_at
+    ):
+        path = tmp_path / "fleet.journal"
+        _run_partial(path, interrupt_at)
+        resumed = run_fleet(CK_SCENARIO, checkpoint=path)
+        assert resumed.to_json() == baseline
+
+    def test_completed_journal_replays_identically(
+        self, tmp_path, baseline
+    ):
+        path = tmp_path / "fleet.journal"
+        first = run_fleet(CK_SCENARIO, checkpoint=path)
+        assert first.to_json() == baseline
+        again = run_fleet(CK_SCENARIO, checkpoint=path)
+        assert again.to_json() == baseline
+
+    def test_foreign_journal_restarts_fresh(self, tmp_path, baseline):
+        path = tmp_path / "fleet.journal"
+        other = Scenario(chips=2, epochs=2, seed=99)
+        run_fleet(other, checkpoint=path)
+        result = run_fleet(CK_SCENARIO, checkpoint=path)
+        assert result.to_json() == baseline
+        # And the journal now belongs to CK_SCENARIO.
+        state = FleetJournal(path).load()
+        assert state.scenario == json.loads(
+            json.dumps(CK_SCENARIO.as_params(), sort_keys=True)
+        )
+
+    def test_tampered_journal_fails_loudly(self, tmp_path):
+        path = tmp_path / "fleet.journal"
+        _run_partial(path, 4)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["stats"]["tenants"] += 1
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigError, match="drift"):
+            run_fleet(CK_SCENARIO, checkpoint=path)
+
+    def test_resume_requires_fresh_fleet(self, tmp_path):
+        path = tmp_path / "fleet.journal"
+        _run_partial(path, 2)
+        state = FleetJournal(path).load()
+        fleet = Fleet(CK_SCENARIO)
+        fleet.setup()
+        with pytest.raises(ConfigError, match="fresh"):
+            fleet.resume_from(state)
+
+
+@pytest.mark.chaos
+class TestKillMinusNine:
+    """The real thing: SIGKILL a ``repro fleet run --checkpoint``
+    subprocess mid-run, resume it, and demand the same bytes an
+    uninterrupted run prints."""
+
+    ARGS = [
+        "--chips", "24", "--epochs", "60", "--seed", "5",
+        "--rack-size", "2", "--chip-failure", "0.05",
+        "--chip-repair", "0.8", "--mttr", "2", "--chip-slow", "0.08",
+        "--admission-patience", "3", "--pending-limit", "8",
+    ]
+
+    def _run(self, extra, timeout=300):
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "fleet", "run"]
+            + self.ARGS + extra,
+            capture_output=True, text=True, env=env, timeout=timeout,
+        )
+
+    def test_sigkill_then_resume_matches_uninterrupted(self, tmp_path):
+        journal = tmp_path / "fleet.journal"
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "fleet", "run"]
+            + self.ARGS + ["--checkpoint", str(journal)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        try:
+            # Wait until at least two epochs are durably journaled,
+            # then kill -9 mid-run.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break
+                try:
+                    lines = journal.read_text().count("\n")
+                except OSError:
+                    lines = 0
+                if lines >= 3:  # header + >= 2 epochs
+                    break
+                time.sleep(0.02)
+            assert proc.poll() is None, (
+                "run finished before it could be killed; grow the "
+                "scenario"
+            )
+            proc.send_signal(signal.SIGKILL)
+            assert proc.wait(timeout=60) == -signal.SIGKILL
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=60)
+        state = FleetJournal(journal).load()
+        assert state is not None and state.next_epoch >= 2
+
+        resumed = self._run(["--checkpoint", str(journal)])
+        assert resumed.returncode == 0, resumed.stderr
+        uninterrupted = self._run([])
+        assert uninterrupted.returncode == 0, uninterrupted.stderr
+        assert resumed.stdout == uninterrupted.stdout
+        # The resumed run continued, it did not restart: the journal
+        # still starts with the pre-kill prefix.
+        after = FleetJournal(journal).load()
+        assert after.next_epoch == 60
+        assert after.epochs[: state.next_epoch] == state.epochs
