@@ -1,0 +1,162 @@
+"""Pickle-over-pipe vs shared-memory-arena IPC microbenchmark.
+
+Measures the two result transports :class:`repro.runner.SweepRunner`
+can use, in isolation from cell compute, so the IPC win of the shm
+arena is independently measurable:
+
+1. **pipe** — pickle the payload in a child, ship the bytes through a
+   ``multiprocessing.Pipe``, unpickle in the parent (the pool's
+   transport when the arena is disabled);
+2. **shm** — pickle into a shared-memory arena span in the child, ship
+   only the ``("shm", offset, length, sha256)`` envelope, verify +
+   unpickle zero-copy from the mapping in the parent.
+
+Run directly (not collected by pytest — no ``test_`` prefix)::
+
+    PYTHONPATH=src python benchmarks/ipc_microbench.py
+    PYTHONPATH=src python benchmarks/ipc_microbench.py --mb 8 --rounds 30
+
+A full-runner comparison (``SweepRunner`` with the arena on vs off over
+identical cached sweeps) is included as a cross-check that the
+transport win survives the pool machinery.
+"""
+
+import argparse
+import multiprocessing
+import pickle
+import tempfile
+import time
+
+from repro.runner import (
+    Cell,
+    ResultCache,
+    SweepRunner,
+    _ShmArena,
+    register_cell_kind,
+)
+
+
+def make_payload(mb: float):
+    """A sweep-result-shaped payload of roughly ``mb`` megabytes."""
+    n = int(mb * (1 << 20) / 8)
+    return {
+        "design": "Jumanji",
+        "latencies": [float(i) * 0.25 for i in range(n)],
+        "meta": {"epochs": 25, "mixes": 40},
+    }
+
+
+def _pipe_child(conn, payload, rounds):
+    for _ in range(rounds):
+        conn.send(payload)
+    conn.close()
+
+
+def bench_pipe(payload, rounds: int) -> float:
+    """Seconds per round-trip through a Pipe (pickle both ways)."""
+    parent, child = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.get_context("fork").Process(
+        target=_pipe_child, args=(child, payload, rounds)
+    )
+    start = time.perf_counter()
+    proc.start()
+    for _ in range(rounds):
+        parent.recv()
+    proc.join()
+    elapsed = time.perf_counter() - start
+    parent.close()
+    child.close()
+    return elapsed / rounds
+
+
+def _shm_child(arena, conn, payload, rounds):
+    for _ in range(rounds):
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        conn.send(arena.write(blob))
+    conn.close()
+
+
+def bench_shm(payload, rounds: int) -> float:
+    """Seconds per round-trip through a fork-inherited shm arena."""
+    ctx = multiprocessing.get_context("fork")
+    blob_size = len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+    arena = _ShmArena(blob_size * rounds + (1 << 20), ctx)
+    parent, child = multiprocessing.Pipe(duplex=False)
+    try:
+        proc = ctx.Process(
+            target=_shm_child, args=(arena, child, payload, rounds)
+        )
+        start = time.perf_counter()
+        proc.start()
+        for _ in range(rounds):
+            env = parent.recv()
+            assert env is not None, "arena overflowed"
+            arena.read(env[1], env[2], env[3])
+        proc.join()
+        return (time.perf_counter() - start) / rounds
+    finally:
+        arena.destroy()
+        parent.close()
+        child.close()
+
+
+@register_cell_kind("ipc_probe")
+def _ipc_probe(mb):
+    return make_payload(mb)
+
+
+def bench_runner(mb: float, cells: int) -> dict:
+    """Full SweepRunner wall time, arena on vs off (warm cache).
+
+    The cache is pre-warmed so the measured work is (cache read +
+    transport), isolating IPC from cell compute.
+    """
+    out = {}
+    batch = [Cell("ipc_probe", {"mb": mb + i * 1e-9}) for i in range(cells)]
+    for label, arena_bytes in (("shm", None), ("pipe", 0)):
+        with tempfile.TemporaryDirectory() as d:
+            cache = ResultCache(d)
+            SweepRunner(jobs=2, cache=cache, arena_bytes=0).map(batch)
+            runner = SweepRunner(
+                jobs=2, cache=cache, arena_bytes=arena_bytes
+            )
+            start = time.perf_counter()
+            runner.map(batch)
+            out[label] = time.perf_counter() - start
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--mb", type=float, default=4.0, help="payload size (MB)"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=20, help="round-trips to average"
+    )
+    parser.add_argument(
+        "--cells", type=int, default=8, help="cells for the runner pass"
+    )
+    args = parser.parse_args()
+
+    payload = make_payload(args.mb)
+    blob = len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+    print(f"payload ~{blob / (1 << 20):.1f} MB pickled, "
+          f"{args.rounds} rounds")
+
+    pipe_s = bench_pipe(payload, args.rounds)
+    shm_s = bench_shm(payload, args.rounds)
+    print(f"pipe  : {pipe_s * 1e3:8.2f} ms/round-trip")
+    print(f"shm   : {shm_s * 1e3:8.2f} ms/round-trip "
+          f"({pipe_s / shm_s:.2f}x)")
+
+    runner = bench_runner(args.mb, args.cells)
+    print(f"runner ({args.cells} warm cells): "
+          f"pipe {runner['pipe'] * 1e3:.1f} ms, "
+          f"shm {runner['shm'] * 1e3:.1f} ms "
+          f"({runner['pipe'] / runner['shm']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

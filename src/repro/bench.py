@@ -542,6 +542,31 @@ def _canonical_run_result(result) -> Tuple:
     )
 
 
+#: Per-design speedup floors (batched engine vs scalar reference),
+#: enforced when the bench runs at or above :data:`MODEL_FLOOR_MIXES`
+#: mixes — an Adaptive-speedup regression fails the bench. Below that
+#: scale (CI smoke at 1-2 mixes, where fixed per-run overheads dominate
+#: and timings are noisy) only :data:`MODEL_SMOKE_FLOOR` applies.
+MODEL_SPEEDUP_FLOORS: Dict[str, float] = {
+    "Static": 4.0,
+    "Adaptive": 3.0,
+    "VM-Part": 8.0,
+    "Jigsaw": 10.0,
+    "Jumanji": 8.0,
+}
+
+#: Overall (sum-of-reference / sum-of-batch) floor at full scale.
+MODEL_OVERALL_FLOOR = 10.0
+
+#: Mix count at which the full per-design floors kick in.
+MODEL_FLOOR_MIXES = 8
+
+#: Floor applied below :data:`MODEL_FLOOR_MIXES` mixes: catches only a
+#: catastrophic regression (batch slower than reference) without making
+#: tiny smoke runs flaky.
+MODEL_SMOKE_FLOOR = 0.5
+
+
 def run_model_bench(
     mixes: int = 2,
     epochs: Optional[int] = None,
@@ -550,14 +575,19 @@ def run_model_bench(
     load: str = "high",
     output: Optional[os.PathLike] = None,
 ) -> Dict[str, Any]:
-    """Benchmark the vectorised epoch engine on the Fig. 13 loop.
+    """Benchmark the batched multi-mix epoch engine on the Fig. 13 loop.
 
-    Every (design, mix) cell runs end-to-end twice — once under the
-    fast engine, once under the frozen scalar reference — with the same
-    seeds and a fresh workload each, and the two ``RunResult`` objects
-    must be bit-identical. Deadlines are prewarmed (they are a shared
+    Each design runs once as a single
+    :class:`~repro.model.batch.BatchSystemModel` over all ``mixes``
+    mixes (one fused queueing kernel per epoch), then once per mix
+    under the frozen scalar reference engine with the same seeds and a
+    fresh workload each; every per-mix ``RunResult`` pair must be
+    bit-identical. Deadlines are prewarmed (they are a shared
     ``lru_cache`` both engines hit) so the timing covers the epoch loop
-    itself. ``output`` defaults to ``BENCH_model.json``.
+    itself. Per-design speedups are gated against
+    :data:`MODEL_SPEEDUP_FLOORS` when ``mixes`` is at least
+    :data:`MODEL_FLOOR_MIXES`. ``output`` defaults to
+    ``BENCH_model.json``.
     """
     from .core.designs import make_design
     from .experiments.common import (
@@ -565,6 +595,7 @@ def run_model_bench(
         num_epochs,
         run_seed,
     )
+    from .model.batch import BatchSystemModel
     from .model.system import (
         SystemModel,
         compute_deadline_cycles,
@@ -577,6 +608,7 @@ def run_model_bench(
         raise ValueError("need at least one batch mix")
     epochs = epochs if epochs is not None else num_epochs()
     designs = list(designs) if designs else list(DEFAULT_DESIGNS)
+    at_scale = mixes >= MODEL_FLOOR_MIXES
 
     # Warm the (shared, bounded) deadline cache outside the timing.
     probe = make_default_workload([lc_workload], mix_seed=0, load=load)
@@ -585,62 +617,95 @@ def run_model_bench(
             base_app(app), router_delay=probe.config.router_delay
         )
 
+    seeds = [run_seed(0, m) for m in range(mixes)]
     cells: List[Dict[str, Any]] = []
+    per_design: Dict[str, Dict[str, Any]] = {}
     for design_name in designs:
-        for mix_seed in range(mixes):
-            seed = run_seed(0, mix_seed)
-
-            def timed(engine: str):
-                workload = make_default_workload(
-                    [lc_workload], mix_seed=mix_seed, load=load
+        # One batched run across every mix in lockstep.
+        batch_model = BatchSystemModel(
+            design_name,
+            [
+                make_default_workload(
+                    [lc_workload], mix_seed=m, load=load
                 )
-                model = SystemModel(
-                    make_design(design_name), workload, seed=seed,
-                    engine=engine,
-                )
-                start = time.perf_counter()
-                result = model.run(epochs)
-                return time.perf_counter() - start, result, model
+                for m in range(mixes)
+            ],
+            seeds=seeds,
+        )
+        start = time.perf_counter()
+        batch_results = batch_model.run(epochs)
+        batch_wall = time.perf_counter() - start
 
-            fast_wall, fast_result, fast_model = timed("fast")
-            ref_wall, ref_result, _ = timed("reference")
+        # Per-mix scalar reference runs, same seeds, fresh workloads.
+        ref_wall = 0.0
+        for mix_seed, batch_result in enumerate(batch_results):
+            workload = make_default_workload(
+                [lc_workload], mix_seed=mix_seed, load=load
+            )
+            ref_model = SystemModel(
+                make_design(design_name), workload,
+                seed=seeds[mix_seed], engine="reference",
+            )
+            start = time.perf_counter()
+            ref_result = ref_model.run(epochs)
+            cell_wall = time.perf_counter() - start
+            ref_wall += cell_wall
             cells.append(
                 {
                     "design": design_name,
                     "mix_seed": mix_seed,
-                    "fast_seconds": fast_wall,
-                    "reference_seconds": ref_wall,
-                    "speedup": ref_wall / fast_wall,
-                    "identical": _canonical_run_result(fast_result)
+                    "reference_seconds": cell_wall,
+                    "identical": _canonical_run_result(batch_result)
                     == _canonical_run_result(ref_result),
-                    "memo_hits": fast_model.runtime.memo_hits,
-                    "memo_misses": fast_model.runtime.memo_misses,
                 }
             )
 
-    fast_total = sum(c["fast_seconds"] for c in cells)
-    ref_total = sum(c["reference_seconds"] for c in cells)
-    stats_identical = all(c["identical"] for c in cells)
-    per_design = {
-        name: {
-            "fast_seconds": sum(
-                c["fast_seconds"] for c in cells if c["design"] == name
-            ),
-            "reference_seconds": sum(
-                c["reference_seconds"]
-                for c in cells
-                if c["design"] == name
-            ),
-            "memo_hits": sum(
-                c["memo_hits"] for c in cells if c["design"] == name
-            ),
-        }
-        for name in designs
-    }
-    for entry in per_design.values():
-        entry["speedup"] = (
-            entry["reference_seconds"] / entry["fast_seconds"]
+        floor = (
+            MODEL_SPEEDUP_FLOORS.get(design_name, MODEL_SMOKE_FLOOR)
+            if at_scale
+            else MODEL_SMOKE_FLOOR
         )
+        speedup = ref_wall / batch_wall
+        placement_hits = batch_model.memo_hits
+        subepoch_hits = batch_model.subepoch_hits
+        per_design[design_name] = {
+            "batch_seconds": batch_wall,
+            "reference_seconds": ref_wall,
+            "speedup": speedup,
+            "speedup_floor": floor,
+            "floor_ok": speedup >= floor,
+            # Placement-level + sub-epoch (per-app descriptor) hits;
+            # both matter — Adaptive memoizes at sub-epoch granularity.
+            "memo_hits": placement_hits + subepoch_hits,
+            "placement_memo_hits": placement_hits,
+            "subepoch_memo_hits": subepoch_hits,
+            "memo_misses": sum(
+                m.runtime.memo_misses for m in batch_model.models
+            ),
+            "stages": batch_model.stage_times.as_dict(),
+        }
+
+    batch_total = sum(
+        e["batch_seconds"] for e in per_design.values()
+    )
+    ref_total = sum(
+        e["reference_seconds"] for e in per_design.values()
+    )
+    stats_identical = all(c["identical"] for c in cells)
+    overall_speedup = ref_total / batch_total
+    overall_floor = (
+        MODEL_OVERALL_FLOOR if at_scale else MODEL_SMOKE_FLOOR
+    )
+    floors_ok = (
+        all(e["floor_ok"] for e in per_design.values())
+        and overall_speedup >= overall_floor
+    )
+    stages_total: Dict[str, float] = {}
+    for entry in per_design.values():
+        for stage, seconds in entry["stages"].items():
+            stages_total[stage] = (
+                stages_total.get(stage, 0.0) + seconds
+            )
     info = deadline_cache_info()
     report: Dict[str, Any] = {
         "version": __version__,
@@ -655,20 +720,30 @@ def run_model_bench(
         },
         "cells": cells,
         "per_design": per_design,
-        "fast_seconds": fast_total,
+        "batch_seconds": batch_total,
         "reference_seconds": ref_total,
-        "speedup": ref_total / fast_total,
+        "speedup": overall_speedup,
+        "speedup_floor": overall_floor,
+        "floors_enforced": at_scale,
+        "floors_ok": floors_ok,
+        "stages": stages_total,
         "stats_identical": stats_identical,
         "memo": {
-            "hits": sum(c["memo_hits"] for c in cells),
-            "misses": sum(c["memo_misses"] for c in cells),
+            "hits": sum(
+                e["memo_hits"] for e in per_design.values()
+            ),
+            "misses": sum(
+                e["memo_misses"] for e in per_design.values()
+            ),
         },
         "deadline_cache": {
             "maxsize": info.maxsize,
             "currsize": info.currsize,
             "bounded": info.maxsize is not None,
         },
-        "ok": stats_identical and info.maxsize is not None,
+        "ok": stats_identical
+        and floors_ok
+        and info.maxsize is not None,
     }
     if output is None:
         output = "BENCH_model.json"
@@ -680,12 +755,21 @@ def run_model_bench(
 
 def cmd_model_bench(args: argparse.Namespace) -> int:
     """CLI entry point for ``repro bench --suite model``."""
+    settings = Settings.from_env()
     output = args.output
     if output == "BENCH_sweeps.json":
         output = "BENCH_model.json"
+    mixes = args.mixes
+    if mixes is None:
+        mixes = settings.bench_mixes
+    if mixes is None:
+        mixes = 2
+    epochs = args.epochs
+    if epochs is None:
+        epochs = settings.bench_epochs
     report = run_model_bench(
-        mixes=args.mixes if args.mixes is not None else 2,
-        epochs=args.epochs,
+        mixes=mixes,
+        epochs=epochs,
         output=output,
     )
     wl = report["workload"]
@@ -694,20 +778,34 @@ def cmd_model_bench(args: argparse.Namespace) -> int:
         f"x {wl['epochs']} epochs ({wl['lc_workload']}/{wl['load']})"
     )
     for name, entry in report["per_design"].items():
+        flag = "" if entry["floor_ok"] else "  << BELOW FLOOR"
         print(
-            f"  {name:<10s} fast {entry['fast_seconds']:.2f}s vs "
+            f"  {name:<10s} batch {entry['batch_seconds']:.2f}s vs "
             f"reference {entry['reference_seconds']:.2f}s "
-            f"({entry['speedup']:.2f}x, "
-            f"{entry['memo_hits']} memo hits)"
+            f"({entry['speedup']:.2f}x, floor "
+            f"{entry['speedup_floor']:.1f}x, "
+            f"{entry['memo_hits']} memo hits){flag}"
+        )
+        st = entry["stages"]
+        print(
+            f"  {'':<10s} stages: placer {st['placer']:.2f}s, "
+            f"memo {st['memo']:.2f}s, queueing {st['queueing']:.2f}s, "
+            f"metrics {st['metrics']:.2f}s"
         )
     print(
-        f"  overall: {report['speedup']:.2f}x, stats identical: "
-        f"{report['stats_identical']}, deadline cache bounded: "
+        f"  overall: {report['speedup']:.2f}x "
+        f"(floor {report['speedup_floor']:.1f}x"
+        f"{', enforced' if report['floors_enforced'] else ', smoke'}), "
+        f"stats identical: {report['stats_identical']}, "
+        f"deadline cache bounded: "
         f"{report['deadline_cache']['bounded']}"
     )
     print(f"wrote {report['output']}")
     if not report["ok"]:
-        print("MODEL SUITE FAILED: engines diverged or cache unbounded")
+        print(
+            "MODEL SUITE FAILED: engines diverged, a speedup floor "
+            "was missed, or the deadline cache is unbounded"
+        )
         return 1
     return 0
 

@@ -196,21 +196,30 @@ DEFAULT_CONTROLLER = ControllerConfig()
 
 
 class Engine:
-    """The two implementations every dual-engine entry point accepts.
+    """The implementations every dual-engine entry point accepts.
 
     ``"fast"`` selects the vectorised kernels (numpy placers, batched
     queueing RNG, memoisation); ``"reference"`` selects the frozen
     scalar copies in :mod:`repro.model.reference` and
-    :mod:`repro.sim.reference`. The two are differentially tested to be
-    bit-identical. ``PlacementContext.engine``,
-    ``SystemModel(engine=...)``, and the trace-sim cells all validate
-    through :meth:`validate`, so an unknown literal fails the same way
-    everywhere.
+    :mod:`repro.sim.reference`; ``"batch"`` is the fast engine plus the
+    multi-mix batch axis (one Lindley scan advances every mix's queue,
+    sub-epoch value-keyed memoisation — see :mod:`repro.model.batch`).
+    All are differentially tested to be bit-identical.
+    ``PlacementContext.engine``, ``SystemModel(engine=...)``, and the
+    trace-sim cells all validate through :meth:`validate`, so an
+    unknown literal fails the same way everywhere.
     """
 
     FAST = "fast"
     REFERENCE = "reference"
-    CHOICES = (FAST, REFERENCE)
+    BATCH = "batch"
+    CHOICES = (FAST, REFERENCE, BATCH)
+
+    @classmethod
+    def accelerated(cls, value: str) -> bool:
+        """True for engines that may use caches/vectorised fast paths
+        (everything except the frozen scalar reference)."""
+        return value != cls.REFERENCE
 
     @classmethod
     def validate(cls, value: str, source: str = "engine") -> str:
@@ -251,6 +260,21 @@ def _positive_int(env: Mapping[str, str], name: str) -> Optional[int]:
     return value
 
 
+def _nonneg_int(env: Mapping[str, str], name: str) -> Optional[int]:
+    raw = _clean(env, name)
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a non-negative integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {raw!r}")
+    return value
+
+
 @dataclass(frozen=True)
 class Settings:
     """Every ``REPRO_*`` environment knob, parsed and validated once.
@@ -288,6 +312,14 @@ class Settings:
     #: ``REPRO_FLEET_CHECKPOINT`` — default ``repro fleet run
     #: --checkpoint`` journal path (crash-safe resume).
     fleet_checkpoint: Optional[str] = None
+    #: ``REPRO_BENCH_MIXES`` — default ``bench --suite model`` mix count.
+    bench_mixes: Optional[int] = None
+    #: ``REPRO_BENCH_EPOCHS`` — default ``bench --suite model`` epochs.
+    bench_epochs: Optional[int] = None
+    #: ``REPRO_SHM_ARENA_BYTES`` — shared-memory result arena size for
+    #: parallel sweeps (0 disables the arena; results then travel
+    #: through the pool pipe as pickles).
+    shm_arena_bytes: Optional[int] = None
 
     @classmethod
     def from_env(
@@ -333,4 +365,7 @@ class Settings:
             fleet_chips=_positive_int(env, "REPRO_FLEET_CHIPS"),
             fleet_epochs=_positive_int(env, "REPRO_FLEET_EPOCHS"),
             fleet_checkpoint=_clean(env, "REPRO_FLEET_CHECKPOINT"),
+            bench_mixes=_positive_int(env, "REPRO_BENCH_MIXES"),
+            bench_epochs=_positive_int(env, "REPRO_BENCH_EPOCHS"),
+            shm_arena_bytes=_nonneg_int(env, "REPRO_SHM_ARENA_BYTES"),
         )

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+import numpy as np
+
 from ..config import SystemConfig
 from ..errors import AllocationInvalid
 from ..noc.mesh import MeshNoc
@@ -47,6 +49,19 @@ class Allocation:
     #: way-partition (e.g. all batch apps of a VM under VM-Part); the
     #: associativity available to an app is its *group's* ways.
     partition_groups: Dict[str, str] = field(default_factory=dict)
+    #: Accelerated-engine bookkeeping (see :meth:`bank_used`): per-bank
+    #: running totals and a memo of derived per-app statistics. Off for
+    #: the reference engine, which recomputes every sum from scratch.
+    accelerated: bool = field(default=False, compare=False, repr=False)
+    _totals: Dict[int, float] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _dirty_totals: Set[int] = field(
+        default_factory=set, compare=False, repr=False
+    )
+    _derived: Dict[Tuple, float] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.partition_mode not in PARTITION_MODES:
@@ -71,6 +86,19 @@ class Allocation:
         if mb == 0:
             return
         bank_map = self.allocs.setdefault(bank, {})
+        if self.accelerated:
+            if self._derived:
+                self._derived.clear()
+            if app in bank_map:
+                # Re-granting changes a value mid-dict: the running
+                # total's addition order no longer matches a fresh
+                # insertion-order sum, so fall back to recomputing.
+                self._dirty_totals.add(bank)
+            elif bank not in self._dirty_totals:
+                # Fresh key appends at the end of the bank dict, so
+                # extending the running sum reproduces the recomputed
+                # left-to-right sum bit for bit.
+                self._totals[bank] = self._totals.get(bank, 0.0) + mb
         bank_map[app] = bank_map.get(app, 0.0) + mb
         if self.bank_used(bank) > self.config.llc_bank_mb + 1e-9:
             raise AllocationInvalid(
@@ -79,18 +107,158 @@ class Allocation:
                 bank=bank, app=app,
             )
 
+    def add_stripe(self, app: str, grants: Iterable[float]) -> None:
+        """Grant ``app`` ``grants[b]`` MB in every bank ``b`` (bulk add).
+
+        Exactly equivalent to calling :meth:`add` once per bank in
+        ascending order, skipping non-positive grants; the accelerated
+        path just avoids per-call dispatch. Grant ``b`` appends to bank
+        ``b``'s map in the same position a sequential loop would, so
+        dict insertion orders — and therefore every order-dependent
+        float accumulation downstream — are unchanged.
+        """
+        if not self.accelerated:
+            for bank, mb in enumerate(grants):
+                if mb > 0:
+                    self.add(bank, app, mb)
+                elif mb < 0:
+                    raise AllocationInvalid(
+                        f"allocation must be non-negative "
+                        f"({mb} MB for {app!r} in bank {bank})",
+                        bank=bank, app=app,
+                    )
+            return
+        allocs = self.allocs
+        totals = self._totals
+        dirty = self._dirty_totals
+        limit = self.config.llc_bank_mb + 1e-9
+        num_banks = self.config.num_banks
+        if self._derived:
+            self._derived.clear()
+        for bank, mb in enumerate(grants):
+            if mb <= 0:
+                if mb < 0:
+                    raise AllocationInvalid(
+                        f"allocation must be non-negative "
+                        f"({mb} MB for {app!r} in bank {bank})",
+                        bank=bank, app=app,
+                    )
+                continue
+            if bank >= num_banks:
+                raise AllocationInvalid(
+                    f"bank {bank} out of range", bank=bank, app=app
+                )
+            bank_map = allocs.get(bank)
+            if bank_map is None:
+                allocs[bank] = {app: mb}
+                used = totals.get(bank, 0.0) + mb
+                totals[bank] = used
+            elif app in bank_map:
+                bank_map[app] = bank_map[app] + mb
+                dirty.add(bank)
+                used = sum(bank_map.values())
+            else:
+                bank_map[app] = mb
+                if bank in dirty:
+                    used = sum(bank_map.values())
+                else:
+                    used = totals.get(bank, 0.0) + mb
+                    totals[bank] = used
+            if used > limit:
+                raise AllocationInvalid(
+                    f"bank {bank} over-committed: {used:.3f} MB",
+                    bank=bank, app=app,
+                )
+
     # -- queries ------------------------------------------------------------------
 
     def bank_used(self, bank: int) -> float:
         """MB committed in ``bank``."""
+        if self.accelerated and bank not in self._dirty_totals:
+            # int 0 for untouched banks, exactly like the empty sum().
+            return self._totals.get(bank, 0)
         return sum(self.allocs.get(bank, {}).values())
 
     def bank_free(self, bank: int) -> float:
         """MB still free in ``bank``."""
         return self.config.llc_bank_mb - self.bank_used(bank)
 
+    def bank_free_all(self) -> List[float]:
+        """``[bank_free(b) for b in range(num_banks)]``, one pass.
+
+        The accelerated path reads the running totals directly (same
+        expression :meth:`bank_free` evaluates, minus the per-bank
+        method dispatch); any dirty bank falls back to the per-bank
+        calls.
+        """
+        n = self.config.num_banks
+        cap = self.config.llc_bank_mb
+        if not self.accelerated or self._dirty_totals:
+            return [cap - self.bank_used(b) for b in range(n)]
+        get = self._totals.get
+        return [cap - get(b, 0) for b in range(n)]
+
+    def _memo(self, key: Tuple, compute) -> float:
+        """Value-memoise a derived statistic (accelerated only).
+
+        Derived stats are pure functions of the allocation matrix; the
+        memo is cleared on every :meth:`add`, so a hit always replays
+        the exact computation the reference engine would perform.
+        """
+        if not self.accelerated:
+            return compute()
+        hit = self._derived.get(key)
+        if hit is None:
+            hit = compute()
+            self._derived[key] = hit
+        return hit
+
+    def _grant_rows(
+        self,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Dense per-app grant rows over the touched banks.
+
+        Returns ``(banks, rows)``: the touched bank ids in ``allocs``
+        insertion order, and each app's MB vector over those columns.
+        Memoised like every derived statistic (cleared on mutation);
+        the vectorised NoC averages and the security metric all share
+        one build. Column order matters: left-to-right accumulation
+        over these columns replays the scalar loops' ``allocs``
+        iteration order exactly.
+        """
+        return self._memo(("rows",), self._grant_rows_build)
+
+    def _grant_rows_build(
+        self,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        allocs = self.allocs
+        nb = len(allocs)
+        banks = np.fromiter(allocs.keys(), dtype=np.int64, count=nb)
+        rows: Dict[str, np.ndarray] = {}
+        for j, bank_map in enumerate(allocs.values()):
+            for a, mb in bank_map.items():
+                row = rows.get(a)
+                if row is None:
+                    row = rows[a] = np.zeros(nb)
+                row[j] = mb
+        return banks, rows
+
     def app_size(self, app: str) -> float:
         """Total MB owned by ``app`` across all banks."""
+        return self._memo(("size", app), lambda: self._app_size_raw(app))
+
+    def _app_size_raw(self, app: str) -> float:
+        if self.accelerated:
+            # cumsum over the grant-row columns replays the scalar
+            # sum's allocs iteration order; absent apps and empty
+            # matrices return the exact values (0.0 / int 0) the
+            # scalar genexpr sum produces.
+            if not self.allocs:
+                return 0
+            row = self._grant_rows()[1].get(app)
+            if row is None:
+                return 0.0
+            return float(np.cumsum(row)[-1])
         return sum(
             bank_map.get(app, 0.0) for bank_map in self.allocs.values()
         )
@@ -128,14 +296,38 @@ class Allocation:
         with proportional placement descriptors, this is the expected
         per-access NoC latency.
         """
+        return self._memo(
+            ("rtt", app, tile, id(noc)),
+            lambda: self._avg_noc_rtt_raw(app, tile, noc),
+        )
+
+    def _avg_noc_rtt_raw(self, app: str, tile: int, noc: MeshNoc) -> float:
         size = self.app_size(app)
         if size <= 0:
             # No LLC space: accesses still traverse to a home bank;
-            # model as the S-NUCA average.
+            # model as the S-NUCA average. Both engines sum exact
+            # integer cycle counts, so the accumulation order cannot
+            # matter.
+            if self.accelerated:
+                return float(
+                    noc.round_trip_from(tile)[
+                        : self.config.num_banks
+                    ].sum()
+                ) / self.config.num_banks
             banks = range(self.config.num_banks)
             return sum(noc.round_trip(tile, b) for b in banks) / (
                 self.config.num_banks
             )
+        if self.accelerated:
+            # cumsum is strictly left-to-right over the same columns
+            # the scalar loop visits; zero-MB entries contribute +0.0,
+            # which cannot change a non-negative running sum.
+            banks, rows = self._grant_rows()
+            row = rows.get(app)
+            if row is None or row.size == 0:
+                return 0.0
+            terms = noc.round_trip_from(tile)[banks] * (row / size)
+            return float(np.cumsum(terms)[-1])
         total = 0.0
         for bank, bank_map in self.allocs.items():
             mb = bank_map.get(app, 0.0)
@@ -145,12 +337,30 @@ class Allocation:
 
     def avg_noc_hops(self, app: str, tile: int, noc: MeshNoc) -> float:
         """Average one-way hop count from ``tile`` to the app's data."""
+        return self._memo(
+            ("hops", app, tile, id(noc)),
+            lambda: self._avg_noc_hops_raw(app, tile, noc),
+        )
+
+    def _avg_noc_hops_raw(self, app: str, tile: int, noc: MeshNoc) -> float:
         size = self.app_size(app)
         if size <= 0:
+            if self.accelerated:
+                return float(
+                    noc.hops_from(tile)[: self.config.num_banks].sum()
+                ) / self.config.num_banks
             banks = range(self.config.num_banks)
             return sum(noc.hops(tile, b) for b in banks) / (
                 self.config.num_banks
             )
+        if self.accelerated:
+            # Same ordering argument as :meth:`_avg_noc_rtt_raw`.
+            banks, rows = self._grant_rows()
+            row = rows.get(app)
+            if row is None or row.size == 0:
+                return 0.0
+            terms = noc.hops_from(tile)[banks] * (row / size)
+            return float(np.cumsum(terms)[-1])
         total = 0.0
         for bank, bank_map in self.allocs.items():
             mb = bank_map.get(app, 0.0)
@@ -169,6 +379,11 @@ class Allocation:
         ways there. Low values cause the associativity penalties the
         paper attributes to way-partitioning.
         """
+        return self._memo(
+            ("ways", app), lambda: self._ways_per_bank_raw(app)
+        )
+
+    def _ways_per_bank_raw(self, app: str) -> float:
         size = self.app_size(app)
         if size <= 0:
             return 0.0

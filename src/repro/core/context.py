@@ -71,6 +71,24 @@ class PlacementContext:
             if size < 0:
                 raise ValueError(f"negative lat size for {app!r}")
 
+    # -- allocation construction ----------------------------------------------------
+
+    def new_allocation(self, partition_mode: str = "per-app") -> "Allocation":
+        """A fresh :class:`~repro.core.allocation.Allocation` for this
+        context's engine.
+
+        Accelerated engines get an allocation with incremental bank
+        totals and derived-stat memos enabled; the reference engine gets
+        the plain recompute-everything object.
+        """
+        from .allocation import Allocation
+
+        return Allocation(
+            self.config,
+            partition_mode=partition_mode,
+            accelerated=Engine.accelerated(self.engine),
+        )
+
     # -- convenience views --------------------------------------------------------
 
     @property

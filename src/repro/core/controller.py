@@ -195,6 +195,31 @@ class FeedbackController:
         window.clear()
         return self._update(app, tail)
 
+    def ingest_completed(self, app: str, latencies: List[float]) -> None:
+        """Bulk :meth:`request_completed` for pre-validated samples.
+
+        ``latencies`` must already be finite, non-negative floats — the
+        accelerated runtime numpy-checks the whole batch before calling
+        (any suspect batch takes the per-sample path instead, so drop
+        events are preserved). Windows fill and fire exactly as the
+        per-sample path does: a window is processed the moment it holds
+        ``configuration_interval + 1`` samples, over the same list
+        contents, so the resize decisions are bit-identical.
+        """
+        if app not in self._deadlines:
+            raise KeyError(f"app {app!r} not registered")
+        window = self._windows[app]
+        limit = self.config.configuration_interval + 1
+        i, n = 0, len(latencies)
+        while i < n:
+            take = min(n - i, limit - len(window))
+            window.extend(latencies[i : i + take])
+            i += take
+            if len(window) >= limit:
+                tail = percentile(window, self.config.percentile)
+                window.clear()
+                self._update(app, tail)
+
     def _update(self, app: str, tail: float) -> ControllerDecision:
         cfg = self.config
         deadline = self._deadlines[app]

@@ -69,6 +69,15 @@ class LlcDesign:
             if size <= 0:
                 continue
             per_bank = size / n
+            if alloc.accelerated:
+                # A bank's free space only depends on *earlier apps'*
+                # grants there, so the whole stripe can be computed
+                # up-front and bulk-added — same values, same order.
+                alloc.add_stripe(app, [
+                    min(per_bank, free)
+                    for free in alloc.bank_free_all()
+                ])
+                continue
             for bank in range(n):
                 grab = min(per_bank, alloc.bank_free(bank))
                 if grab > 0:
@@ -88,9 +97,22 @@ class LlcDesign:
         batch = ctx.batch_apps
         if not batch:
             return
-        free = [alloc.bank_free(b) for b in range(ctx.config.num_banks)]
+        free = alloc.bank_free_all()
         weights = {a: max(ctx.apps[a].intensity, 1e-9) for a in batch}
         total_w = sum(weights.values())
+        if alloc.accelerated:
+            # Shares are computed from the pre-spread free snapshot, so
+            # they don't depend on add order; striping app-by-app
+            # appends apps to each bank's map in the same order the
+            # bank-by-bank loop does.
+            for app in batch:
+                w = weights[app]
+                alloc.add_stripe(app, [
+                    free_mb * w / total_w if free_mb > 0 else 0.0
+                    for free_mb in free
+                ])
+            alloc.shared_batch.update(batch)
+            return
         for bank, free_mb in enumerate(free):
             if free_mb <= 0:
                 continue
@@ -114,7 +136,7 @@ class StaticDesign(LlcDesign):
 
     def allocate(self, ctx: PlacementContext) -> Allocation:
         """See :meth:`LlcDesign.allocate`."""
-        alloc = Allocation(ctx.config, partition_mode="lc-only")
+        alloc = ctx.new_allocation(partition_mode="lc-only")
         cfg = ctx.config
         lc_mb = cfg.llc_size_mb * self.lc_ways / cfg.llc_bank_ways
         per_bank = lc_mb / cfg.num_banks
@@ -133,7 +155,7 @@ class AdaptiveDesign(LlcDesign):
 
     def allocate(self, ctx: PlacementContext) -> Allocation:
         """See :meth:`LlcDesign.allocate`."""
-        alloc = Allocation(ctx.config, partition_mode="lc-only")
+        alloc = ctx.new_allocation(partition_mode="lc-only")
         self._spread_lc_snuca(ctx, alloc)
         self._spread_batch_shared(ctx, alloc)
         return alloc
@@ -150,7 +172,7 @@ class VmPartDesign(LlcDesign):
 
     def allocate(self, ctx: PlacementContext) -> Allocation:
         """See :meth:`LlcDesign.allocate`."""
-        alloc = Allocation(ctx.config, partition_mode="per-vm")
+        alloc = ctx.new_allocation(partition_mode="per-vm")
         self._spread_lc_snuca(ctx, alloc)
         batch = ctx.batch_apps
         if not batch:
@@ -278,7 +300,7 @@ class JumanjiIdealBatchDesign(LlcDesign):
 
     def allocate_batch(self, ctx: PlacementContext) -> Allocation:
         """Batch copy of the LLC (separate allocation object)."""
-        alloc = Allocation(ctx.config, partition_mode="per-app")
+        alloc = ctx.new_allocation(partition_mode="per-app")
         batch = ctx.batch_apps
         if not batch:
             return alloc

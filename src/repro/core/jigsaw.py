@@ -153,11 +153,11 @@ def jigsaw_place(
         )
     app_names = list(apps) if apps is not None else sorted(ctx.apps)
     if not app_names:
-        return allocation if allocation is not None else Allocation(
-            ctx.config, partition_mode="per-app"
+        return allocation if allocation is not None else (
+            ctx.new_allocation(partition_mode="per-app")
         )
-    alloc = allocation if allocation is not None else Allocation(
-        ctx.config, partition_mode="per-app"
+    alloc = allocation if allocation is not None else (
+        ctx.new_allocation(partition_mode="per-app")
     )
     banks = (
         list(allowed_banks)

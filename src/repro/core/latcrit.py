@@ -62,8 +62,8 @@ def _lat_crit_fast(
     isolate_vms: bool,
 ) -> Allocation:
     """The fast-engine implementation (see :func:`lat_crit_placer`)."""
-    alloc = allocation if allocation is not None else Allocation(
-        ctx.config, partition_mode="per-app"
+    alloc = allocation if allocation is not None else (
+        ctx.new_allocation(partition_mode="per-app")
     )
     bank_vm: dict = {}
     if isolate_vms:

@@ -85,14 +85,31 @@ def lookahead(
     if remaining < -1e-9:
         raise ValueError("minimums exceed capacity")
 
+    # Round-to-round memo of each app's _best_step result. Only the
+    # winning app's size changes between rounds, and the budget only
+    # shrinks; a cached (util, delta) stays the maximum over the
+    # shrunken horizon as long as its own horizon still fits (a max
+    # attained inside a prefix is the prefix's max, and a no-benefit
+    # verdict over a longer horizon covers every shorter one). The
+    # winner's entry is dropped, so its scan reruns from its new size —
+    # the values compared each round are bit-identical to a full rescan.
+    best_cache: Dict[str, Tuple[float, float, int]] = {}
     while remaining >= step - 1e-12:
         best_app = None
         best_util = -1.0
         best_delta = 0.0
+        max_steps = int(remaining / step + 1e-9)
         for app, curve in curves.items():
-            util, delta = _best_step(
-                curve, sizes[app], remaining, step
-            )
+            hit = best_cache.get(app)
+            if hit is not None and hit[2] <= max_steps:
+                util, delta = hit[0], hit[1]
+            else:
+                util, delta = _best_step(
+                    curve, sizes[app], remaining, step
+                )
+                best_cache[app] = (
+                    util, delta, int(delta / step + 1e-9)
+                )
             if delta > 0 and util > best_util + 1e-15:
                 best_util = util
                 best_app = app
@@ -109,6 +126,7 @@ def lookahead(
             break
         sizes[best_app] += best_delta
         remaining -= best_delta
+        best_cache.pop(best_app, None)
     if remaining > 1e-12 and sizes:
         steepest = max(
             curves,

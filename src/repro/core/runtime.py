@@ -37,6 +37,8 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Union
 
+import numpy as np
+
 from .. import obs
 from ..config import (
     CORE_FREQ_HZ,
@@ -117,6 +119,25 @@ class JumanjiRuntime:
         #: Memo statistics for benchmarks/tests.
         self.memo_hits = 0
         self.memo_misses = 0
+        # Sub-epoch memoisation (accelerated engines only, same gate as
+        # the placement memo): placement descriptors are pure functions
+        # of an app's per-bank allocation *vector*, and — because IEEE
+        # division of ``c`` by an exact small-integer multiple ``B*c``
+        # yields the same quotient for every ``c`` — a *uniform* stripe
+        # (every S-NUCA design's shape) maps to one canonical descriptor
+        # per bank set regardless of the absolute MB value. So feedback
+        # designs whose sizes drift every epoch (Adaptive) still hit
+        # this cache even though the whole-placement memo cannot fire.
+        self._desc_cache: "OrderedDict[tuple, PlacementDescriptor]" = (
+            OrderedDict()
+        )
+        self._desc_cache_size = 256
+        #: Sub-epoch memo statistics (descriptor-granularity hits).
+        self.subepoch_hits = 0
+        self.subepoch_misses = 0
+        # Descriptor object installed per vc_id: reinstalling the very
+        # same object is a no-op diff, so the vtb walk is skipped.
+        self._installed: Dict[int, PlacementDescriptor] = {}
         # Every random decision the runtime (or a design hook) makes must
         # draw from this stream, never the global ``random`` module, so
         # two runtimes with the same seed replay identically regardless
@@ -183,7 +204,29 @@ class JumanjiRuntime:
 
         Equivalent to reporting each sample in order — per-sample
         sanitization (and its structured drop events) is preserved.
+        Under accelerated engines (same gate as the placement memo), a
+        batch that numpy-validates clean — every sample finite and
+        non-negative, the overwhelmingly common case — is ingested in
+        bulk through
+        :meth:`~repro.core.controller.FeedbackController.ingest_completed`;
+        ``tolist()`` yields the same doubles ``float()`` coercion
+        would, so the windows hold identical values. Any suspect batch
+        falls back to the per-sample path, emitting the exact drop
+        events it always did.
         """
+        if self._memoize and latencies_cycles:
+            try:
+                arr = np.asarray(latencies_cycles, dtype=float)
+            except (TypeError, ValueError):
+                arr = None
+            if (
+                arr is not None
+                and arr.ndim == 1
+                and bool(np.isfinite(arr).all())
+                and bool((arr >= 0).all())
+            ):
+                self.controller.ingest_completed(app, arr.tolist())
+                return
         for latency in latencies_cycles:
             self.report_latency(app, latency)
 
@@ -236,6 +279,51 @@ class JumanjiRuntime:
                     else "runtime.memo_misses"
                 )
         return record
+
+    def _descriptor_for(
+        self, allocation: Allocation, app: str
+    ) -> PlacementDescriptor:
+        """``allocation.descriptor_for(app)``, value-memoised.
+
+        Only with memoisation enabled (the accelerated engines; the
+        reference engine rebuilds descriptors every epoch). The key is
+        the app's exact per-bank MB vector — or, for uniform vectors,
+        the bank set alone: with all ``B`` quotas equal, largest-
+        remainder ties resolve purely by bank id, so the descriptor
+        depends only on ``int(quota)`` — and ``quota ~ 128/B`` can only
+        sit on an integer boundary when ``B`` divides 128 (a power of
+        two), where ``1/B`` is exact and the quota has no rounding at
+        all. One canonical descriptor therefore serves every drifting
+        uniform stripe (Adaptive's S-NUCA shape each epoch).
+        ``tests/test_model_batch.py`` pins this invariance.
+        """
+        if not self._memoize:
+            return allocation.descriptor_for(app)
+        # Same (bank, mb) pairs in the same order the scalar scan over
+        # ``allocs`` produces — the grant rows use its insertion order.
+        banks, rows = allocation._grant_rows()
+        row = rows.get(app)
+        if row is None:
+            vec = ()
+        else:
+            nz = row > 0
+            vec = tuple(zip(banks[nz].tolist(), row[nz].tolist()))
+        values = {mb for _, mb in vec}
+        if len(values) == 1:
+            key = ("u", tuple(sorted(b for b, _ in vec)))
+        else:
+            key = ("v", tuple(sorted(vec)))
+        cached = self._desc_cache.get(key)
+        if cached is not None:
+            self._desc_cache.move_to_end(key)
+            self.subepoch_hits += 1
+            return cached
+        self.subepoch_misses += 1
+        descriptor = allocation.descriptor_for(app)
+        self._desc_cache[key] = descriptor
+        while len(self._desc_cache) > self._desc_cache_size:
+            self._desc_cache.popitem(last=False)
+        return descriptor
 
     def _reconfigure(self) -> ReconfigRecord:
         """The reconfiguration body (spanned by :meth:`reconfigure`)."""
@@ -302,8 +390,17 @@ class JumanjiRuntime:
             pass
         else:
             for vc_id, app in enumerate(sorted(allocation.apps())):
-                descriptor = allocation.descriptor_for(app)
+                descriptor = self._descriptor_for(allocation, app)
+                if (
+                    self._memoize
+                    and self._installed.get(vc_id) is descriptor
+                ):
+                    # Identical object: the entry diff is empty by
+                    # construction, so the walk would invalidate
+                    # nothing.
+                    continue
                 dirty = self.vtb.update(vc_id, descriptor)
+                self._installed[vc_id] = descriptor
                 # Without a live trace simulation attached we approximate the
                 # walk cost as one descriptor-entry's worth of lines per
                 # dirty bank; a trace-sim integration can override this.

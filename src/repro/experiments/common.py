@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..config import Settings, SystemConfig
+from ..config import Engine, Settings, SystemConfig
 from ..metrics.speedup import gmean, weighted_speedup
 from ..model.system import RunResult, run_design
 from ..model.workload import WorkloadSpec, make_default_workload
@@ -254,13 +254,16 @@ def run_workload(
     config: Optional[SystemConfig] = None,
     baseline_ipcs: Optional[Mapping[str, float]] = None,
     base_seed: int = 0,
+    engine: str = Engine.BATCH,
     **design_kwargs,
 ) -> Tuple[WorkloadOutcome, RunResult, Dict[str, float]]:
     """Run one sweep cell; returns (outcome, raw result, batch IPCs).
 
     ``baseline_ipcs`` are the Static IPCs used to compute weighted
     speedup; when omitted a Static run is performed first (and returned
-    as the third element for reuse).
+    as the third element for reuse). ``engine`` defaults to the batch
+    engine (fused queueing kernel + accelerated placers); all engines
+    are bit-identical, so cached sweep results are engine-agnostic.
     """
     epochs = epochs if epochs is not None else num_epochs()
     seed = run_seed(base_seed, mix_seed)
@@ -270,11 +273,13 @@ def run_workload(
     )
     if baseline_ipcs is None:
         static = run_design(
-            "Static", workload, num_epochs=epochs, seed=seed
+            "Static", workload, num_epochs=epochs, seed=seed,
+            engine=engine,
         )
         baseline_ipcs = static.batch_ipcs()
     result = run_design(
         design, workload, num_epochs=epochs, seed=seed,
+        engine=engine,
         **design_kwargs,
     )
     ipcs = result.batch_ipcs()
@@ -364,6 +369,7 @@ def _baseline_handler(
         workload,
         num_epochs=epochs,
         seed=run_seed(base_seed, mix_seed),
+        engine=Engine.BATCH,
     )
     return static.batch_ipcs()
 

@@ -40,11 +40,18 @@ from ..core.designs import (
     make_design,
 )
 from ..core.runtime import JumanjiRuntime
-from ..metrics.security import potential_attackers_per_access
+from ..metrics.security import (
+    potential_attackers_per_access,
+    potential_attackers_per_access_fast,
+)
 from ..metrics.speedup import weighted_speedup
 from ..noc.energy import EnergyBreakdown, EnergyModel
 from ..noc.mesh import MeshNoc
-from ..sim.queueing import LcRequestSimulator, percentile
+from ..sim.queueing import (
+    LcRequestSimulator,
+    percentile,
+    run_epoch_batch,
+)
 from ..workloads.mixes import base_app
 from ..workloads.tailbench import (
     LatencyCriticalProfile,
@@ -263,7 +270,7 @@ class SystemModel:
             ),
             controller_config=controller_config,
             seed=seed,
-            memoize_placement=(engine == Engine.FAST),
+            memoize_placement=Engine.accelerated(engine),
         )
         if engine == Engine.REFERENCE:
             from .reference import ReferenceLcRequestSimulator
@@ -316,10 +323,10 @@ class SystemModel:
 
     # -- per-epoch evaluation ----------------------------------------------------------
 
-    def _lc_epoch(
+    def _lc_service(
         self, app: str, alloc: Allocation
-    ) -> Tuple[List[float], float]:
-        """Advance one LC app by one epoch; returns (latencies, size)."""
+    ) -> Tuple[float, float]:
+        """Mean service cycles and LLC size for one LC app this epoch."""
         profile = self.workload.lc_profile(app)
         size = alloc.app_size(app)
         tile = self.workload.tile_of(app)
@@ -330,16 +337,7 @@ class SystemModel:
         service = lc_service_cycles(
             profile, size, noc_rtt, ways, self.config, self.params
         )
-        sim = self._lc_sims[app]
-        result = sim.run_epoch(self.epoch_cycles, service)
-        latencies = list(result.latencies_cycles)
-        if self.design.uses_feedback:
-            # Batched feedback: identical to reporting each completion
-            # from an on_complete callback — the controller only
-            # consumes its window at epoch boundaries, and per-sample
-            # order is preserved.
-            self.runtime.report_latencies(app, latencies)
-        return latencies, size
+        return service, size
 
     def _batch_epoch(
         self, alloc: Allocation
@@ -414,22 +412,28 @@ class SystemModel:
         return total
 
     # -- main loop -------------------------------------------------------------------
+    #
+    # The epoch is split into three phases so a batch driver
+    # (:mod:`repro.model.batch`) can interleave many models:
+    # ``_epoch_begin`` (placement + service-time computation),
+    # the LC queueing simulation (``_epoch_sim`` here; one fused
+    # :func:`~repro.sim.queueing.run_epoch_batch` call across all mixes
+    # in the batch engine), and ``_epoch_finish`` (feedback, tails,
+    # batch IPCs, vulnerability, energy). Phase boundaries only reorder
+    # operations that are independent — every per-app computation
+    # sequence is unchanged, so results stay bit-identical to the
+    # un-split loop.
 
-    def run(self, num_epochs: int = 20) -> RunResult:
-        """Simulate ``num_epochs`` 100 ms epochs."""
+    def _run_begin(self, num_epochs: int) -> "_RunState":
+        """Validate and build the accumulator state for one run."""
         if num_epochs < 1:
             raise ValueError("need at least one epoch")
         warmup = min(self.params.warmup_epochs, max(num_epochs - 1, 0))
-        epochs: List[EpochMetrics] = []
-        all_latencies: Dict[str, List[float]] = {
-            a: [] for a in self.workload.lc_apps
-        }
         vm_map = {
             a: self.workload.vm_of(a)
             for vm in self.workload.vms
             for a in vm.apps
         }
-        ideal = isinstance(self.design, JumanjiIdealBatchDesign)
         # Access intensity is a pure function of the (fixed) workload;
         # hoisted out of the epoch loop.
         intensity = {
@@ -444,83 +448,168 @@ class SystemModel:
                 for a in self.workload.lc_apps
             }
         )
+        return _RunState(
+            warmup=warmup,
+            vm_map=vm_map,
+            intensity=intensity,
+            all_latencies={a: [] for a in self.workload.lc_apps},
+        )
+
+    def _epoch_begin(self, epoch: int) -> "_EpochPrep":
+        """Phase 1: reconfigure placement, compute LC service times."""
+        record = self.runtime.reconfigure()
+        alloc = record.allocation
+        if isinstance(self.design, JumanjiIdealBatchDesign):
+            ctx = self.workload.build_context(
+                self._effective_lat_sizes(self.runtime.lat_sizes()),
+                self.noc,
+                engine=self.engine,
+            )
+            batch_alloc = self.design.allocate_batch(ctx)
+        else:
+            batch_alloc = alloc
+        services: Dict[str, float] = {}
+        sizes: Dict[str, float] = {}
+        for app in self.workload.lc_apps:
+            services[app], sizes[app] = self._lc_service(app, alloc)
+        return _EpochPrep(
+            alloc=alloc,
+            batch_alloc=batch_alloc,
+            services=services,
+            sizes=sizes,
+            memo_hit=record.memo_hit,
+        )
+
+    def _epoch_sim(self, prep: "_EpochPrep") -> Dict[str, List[float]]:
+        """Phase 2: advance every LC queueing simulator by one epoch."""
+        apps = self.workload.lc_apps
+        if self.engine == Engine.BATCH and apps:
+            results = run_epoch_batch(
+                [self._lc_sims[a] for a in apps],
+                self.epoch_cycles,
+                [prep.services[a] for a in apps],
+            )
+            return {
+                a: list(r.latencies_cycles)
+                for a, r in zip(apps, results)
+            }
+        return {
+            a: list(
+                self._lc_sims[a]
+                .run_epoch(self.epoch_cycles, prep.services[a])
+                .latencies_cycles
+            )
+            for a in apps
+        }
+
+    def _epoch_finish(
+        self,
+        epoch: int,
+        prep: "_EpochPrep",
+        lc_lats: Dict[str, List[float]],
+        state: "_RunState",
+    ) -> None:
+        """Phase 3: feedback, tails, batch perf, vulnerability, energy."""
+        lc_tails: Dict[str, float] = {}
+        for app in self.workload.lc_apps:
+            lats = lc_lats[app]
+            if self.design.uses_feedback:
+                # Batched feedback: identical to reporting each
+                # completion from an on_complete callback — the
+                # controller only consumes its window at epoch
+                # boundaries, and per-sample order is preserved.
+                self.runtime.report_latencies(app, lats)
+            lc_tails[app] = (
+                percentile(lats, 95.0) if lats else float("nan")
+            )
+            if epoch >= state.warmup:
+                state.all_latencies[app].extend(lats)
+        if obs.is_enabled():
+            # Deterministic for a fixed seed: the ratio comes from the
+            # seeded queueing simulation, not a clock.
+            for app, tail in lc_tails.items():
+                deadline = self._deadlines.get(app)
+                if deadline and tail == tail:  # skip NaN
+                    obs.observe(
+                        "model.lc_tail_vs_deadline",
+                        tail / deadline,
+                        edges=obs.RATIO_EDGES,
+                    )
+        batch_alloc = prep.batch_alloc
+        ipcs, rates = self._batch_epoch(batch_alloc)
+        # Vulnerability over the allocation actually serving traffic.
+        if (
+            self._vuln_cache is not None
+            and self._vuln_cache[0] is batch_alloc
+        ):
+            vuln = self._vuln_cache[1]
+        else:
+            vuln_fn = (
+                potential_attackers_per_access_fast
+                if Engine.accelerated(self.engine)
+                else potential_attackers_per_access
+            )
+            vuln = vuln_fn(batch_alloc, state.vm_map, state.intensity)
+            self._vuln_cache = (batch_alloc, vuln)
+        energy = self._epoch_energy(batch_alloc, rates, lc_lats)
+        state.epochs.append(
+            EpochMetrics(
+                epoch=epoch,
+                lc_tails=lc_tails,
+                lc_sizes=dict(prep.sizes),
+                batch_ipcs=ipcs,
+                vulnerability=vuln,
+                energy=energy,
+            )
+        )
+
+    def _run_result(self, state: "_RunState") -> RunResult:
+        """Package the accumulated epochs as a :class:`RunResult`."""
+        return RunResult(
+            design=self.design.name,
+            load=self.workload.load,
+            epochs=state.epochs,
+            lc_deadlines=dict(self._deadlines),
+            lc_all_latencies=state.all_latencies,
+            warmup_epochs=state.warmup,
+        )
+
+    def run(self, num_epochs: int = 20) -> RunResult:
+        """Simulate ``num_epochs`` 100 ms epochs."""
+        state = self._run_begin(num_epochs)
         for epoch in range(num_epochs):
             with obs.span(
                 "model.epoch", epoch=epoch, design=self.design.name,
             ):
-                record = self.runtime.reconfigure()
-                alloc = record.allocation
-                if ideal:
-                    ctx = self.workload.build_context(
-                        self._effective_lat_sizes(
-                            self.runtime.lat_sizes()
-                        ),
-                        self.noc,
-                        engine=self.engine,
-                    )
-                    batch_alloc = self.design.allocate_batch(ctx)
-                else:
-                    batch_alloc = alloc
-                lc_tails: Dict[str, float] = {}
-                lc_sizes: Dict[str, float] = {}
-                lc_lats: Dict[str, List[float]] = {}
-                for app in self.workload.lc_apps:
-                    lats, size = self._lc_epoch(app, alloc)
-                    lc_lats[app] = lats
-                    lc_sizes[app] = size
-                    lc_tails[app] = (
-                        percentile(lats, 95.0) if lats else float("nan")
-                    )
-                    if epoch >= warmup:
-                        all_latencies[app].extend(lats)
-                if obs.is_enabled():
-                    # Deterministic for a fixed seed: the ratio comes
-                    # from the seeded queueing simulation, not a clock.
-                    for app, tail in lc_tails.items():
-                        deadline = self._deadlines.get(app)
-                        if deadline and tail == tail:  # skip NaN
-                            obs.observe(
-                                "model.lc_tail_vs_deadline",
-                                tail / deadline,
-                                edges=obs.RATIO_EDGES,
-                            )
-                ipcs, rates = self._batch_epoch(batch_alloc)
-                # Vulnerability over the allocation actually serving
-                # traffic.
-                if (
-                    self._vuln_cache is not None
-                    and self._vuln_cache[0] is batch_alloc
-                ):
-                    vuln = self._vuln_cache[1]
-                else:
-                    vuln = potential_attackers_per_access(
-                        batch_alloc, vm_map, intensity
-                    )
-                    self._vuln_cache = (batch_alloc, vuln)
-                if ideal:
-                    # LC copy is isolated per construction; report the
-                    # batch copy's exposure (it is the shared
-                    # structure).
-                    pass
-                energy = self._epoch_energy(batch_alloc, rates, lc_lats)
-                epochs.append(
-                    EpochMetrics(
-                        epoch=epoch,
-                        lc_tails=lc_tails,
-                        lc_sizes=lc_sizes,
-                        batch_ipcs=ipcs,
-                        vulnerability=vuln,
-                        energy=energy,
-                    )
-                )
-        return RunResult(
-            design=self.design.name,
-            load=self.workload.load,
-            epochs=epochs,
-            lc_deadlines=dict(self._deadlines),
-            lc_all_latencies=all_latencies,
-            warmup_epochs=warmup,
-        )
+                prep = self._epoch_begin(epoch)
+                lc_lats = self._epoch_sim(prep)
+                self._epoch_finish(epoch, prep, lc_lats, state)
+        return self._run_result(state)
+
+
+@dataclass
+class _EpochPrep:
+    """Phase-1 outputs of one epoch, pending the LC simulation."""
+
+    alloc: Allocation
+    batch_alloc: Allocation
+    #: LC app -> mean service cycles at this epoch's placement.
+    services: Dict[str, float]
+    #: LC app -> LLC MB (reported as ``lc_sizes``).
+    sizes: Dict[str, float]
+    #: Whether the placement came out of the runtime's memo.
+    memo_hit: bool
+
+
+@dataclass
+class _RunState:
+    """Accumulators threaded through one model's epochs."""
+
+    warmup: int
+    vm_map: Dict[str, int]
+    intensity: Dict[str, float]
+    epochs: List[EpochMetrics] = field(default_factory=list)
+    all_latencies: Dict[str, List[float]] = field(default_factory=dict)
 
 
 def run_design(

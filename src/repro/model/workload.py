@@ -184,7 +184,7 @@ class WorkloadSpec:
         cache.
         """
         noc = noc if noc is not None else MeshNoc(self.config)
-        use_cache = engine == "fast"
+        use_cache = engine != "reference"
         apps: Dict[str, AppInfo] = {}
         for vm in self.vms:
             for app in vm.lc_apps:

@@ -50,6 +50,10 @@ class MeshNoc:
             for a in range(n)
         ]
         self._banks_by_distance: Dict[int, List[int]] = {}
+        # Float views of the latency/hop tables, built on first use by
+        # the vectorised allocation statistics.
+        self._lat_np = None
+        self._hops_np = None
 
     def _corner_tiles(self) -> Tuple[int, ...]:
         """Tiles hosting the memory controllers (the four chip corners)."""
@@ -106,6 +110,27 @@ class MeshNoc:
     def round_trip(self, src: int, dst: int) -> int:
         """Round-trip NoC latency (request there, data back)."""
         return 2 * self._latency[src][dst]
+
+    def round_trip_from(self, tile: int) -> np.ndarray:
+        """Round-trip latencies from ``tile`` to every tile, as floats.
+
+        Integer cycle counts represented exactly in float64, so
+        arithmetic on a row matches per-pair :meth:`round_trip` calls
+        bit for bit.
+        """
+        if self._lat_np is None:
+            self._lat_np = 2.0 * np.asarray(
+                self._latency, dtype=np.float64
+            )
+            self._lat_np.flags.writeable = False
+        return self._lat_np[tile]
+
+    def hops_from(self, tile: int) -> np.ndarray:
+        """Hop counts from ``tile`` to every tile, as exact floats."""
+        if self._hops_np is None:
+            self._hops_np = self._hops.astype(np.float64)
+            self._hops_np.flags.writeable = False
+        return self._hops_np[tile]
 
     def nearest_mem_tile(self, tile: int) -> int:
         """Memory-controller tile closest to ``tile``."""

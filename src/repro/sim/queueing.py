@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +56,7 @@ __all__ = [
     "QueueSimResult",
     "LcRequestSimulator",
     "percentile",
+    "run_epoch_batch",
     "VariateStream",
 ]
 
@@ -331,6 +332,23 @@ class LcRequestSimulator:
             final_queue_depth=len(self._backlog),
         )
 
+    def _stage_epoch(
+        self, duration_cycles: float
+    ) -> Tuple[float, int]:
+        """Arrival phase of :meth:`run_epoch`: generate this epoch's
+        arrivals into the backlog and return ``(epoch_end, backlog)``.
+
+        Identical stream consumption to the head of :meth:`run_epoch`;
+        used by :func:`run_epoch_batch` to split the per-stream arrival
+        work from the batched Lindley scan.
+        """
+        epoch_end = self._now + duration_cycles
+        arrivals = self._generate_arrivals(epoch_end)
+        room = self.max_backlog - len(self._backlog)
+        if room > 0:
+            self._backlog.extend(arrivals[:room])
+        return epoch_end, len(self._backlog)
+
     def reset(self, seed: Optional[int] = None) -> None:
         """Restart the stream (optionally reseeded).
 
@@ -347,3 +365,122 @@ class LcRequestSimulator:
         self._next_arrival = self._arrivals.next() * (
             CORE_FREQ_HZ / self.qps
         )
+
+
+def run_epoch_batch(
+    sims: Sequence[LcRequestSimulator],
+    duration_cycles: float,
+    mean_services: Sequence[float],
+) -> List[QueueSimResult]:
+    """Advance many simulators one epoch with a single Lindley scan.
+
+    The batch axis of the multi-mix engine: every simulator's backlog is
+    padded into one ``(sims, requests)`` matrix and the ``cumsum`` /
+    ``maximum.accumulate`` u-transform runs once along ``axis=1``.
+    numpy's row-wise scans perform exactly the per-element IEEE
+    operations of the 1-D scan in :meth:`LcRequestSimulator.run_epoch`,
+    and each simulator's variate streams are consumed exactly as there
+    (arrivals per-stream, services peeked for the full backlog and
+    advanced by the started count), so per-simulator results are
+    bit-identical to running each epoch separately — the property
+    ``tests/test_model_batch.py`` pins across ragged backlog sizes.
+
+    Ragged rows are padded on the right; scans are left-to-right, so
+    padding never reaches a live prefix. Rows whose epoch has no queued
+    request skip the scan exactly as the scalar path does.
+    """
+    if duration_cycles <= 0:
+        raise ValueError("duration must be positive")
+    sims = list(sims)
+    means = [float(m) for m in mean_services]
+    if len(means) != len(sims):
+        raise ValueError("need one mean service time per simulator")
+    for mean in means:
+        if mean <= 0:
+            raise ValueError("service time must be positive")
+    if not sims:
+        return []
+
+    # Phase 1 — per-stream arrival generation (inherently per-sim: each
+    # stream's geometric peek growth depends on its own draws).
+    ends: List[float] = []
+    counts: List[int] = []
+    for sim, mean in zip(sims, means):
+        epoch_end, n = sim._stage_epoch(duration_cycles)
+        ends.append(epoch_end)
+        counts.append(n)
+
+    width = max(counts)
+    results: List[Optional[QueueSimResult]] = [None] * len(sims)
+    if width:
+        rows = [i for i, n in enumerate(counts) if n]
+        nrows = len(rows)
+        a = np.zeros((nrows, width))
+        s = np.zeros((nrows, width))
+        free = np.empty(nrows)
+        for r, i in enumerate(rows):
+            sim, n = sims[i], counts[i]
+            a[r, :n] = sim._backlog
+            if sim._services is not None:
+                scale = means[i] * sim.service_cv**2
+                s[r, :n] = sim._services.peek(n) * scale
+            else:
+                s[r, :n] = means[i]
+            free[r] = sim._server_free_at
+        cum = np.cumsum(s, axis=1)
+        cum_prev = np.empty_like(cum)
+        cum_prev[:, 0] = 0.0
+        cum_prev[:, 1:] = cum[:, :-1]
+        u = np.maximum(
+            np.maximum.accumulate(a - cum_prev, axis=1), free[:, None]
+        )
+        starts = u + cum_prev
+        completions = u + cum
+        # Per-row boundary cuts: starts/completions are sorted within
+        # each live prefix, so the counting comparisons reproduce the
+        # scalar searchsorted cuts (side="left" counts starts strictly
+        # before the boundary; side="right" counts completions at or
+        # before it, restricted to started requests).
+        col = np.arange(width)[None, :]
+        n_arr = np.asarray([counts[i] for i in rows])[:, None]
+        end_arr = np.asarray([ends[i] for i in rows])[:, None]
+        n_started = ((starts < end_arr) & (col < n_arr)).sum(axis=1)
+        n_done = ((completions <= end_arr) & (col < n_started[:, None])).sum(
+            axis=1
+        )
+        for r, i in enumerate(rows):
+            sim = sims[i]
+            ns = int(n_started[r])
+            nd = int(n_done[r])
+            if sim._services is not None:
+                sim._services.advance(ns)
+            if ns:
+                sim._server_free_at = float(completions[r, ns - 1])
+            latencies: List[float] = []
+            if nd:
+                latencies = (
+                    completions[r, :nd] - a[r, :nd]
+                ).tolist()
+                sim._backlog = sim._backlog[nd:]
+            results[i] = QueueSimResult(
+                latencies_cycles=latencies,
+                completed=len(latencies),
+                mean_service_cycles=means[i],
+                utilization=(
+                    sim.qps * means[i] / CORE_FREQ_HZ
+                ),
+                final_queue_depth=len(sim._backlog),
+            )
+    for i, sim in enumerate(sims):
+        sim._now = ends[i]
+        if results[i] is None:
+            results[i] = QueueSimResult(
+                latencies_cycles=[],
+                completed=0,
+                mean_service_cycles=means[i],
+                utilization=(
+                    sim.qps * means[i] / CORE_FREQ_HZ
+                ),
+                final_queue_depth=len(sim._backlog),
+            )
+    return results  # type: ignore[return-value]

@@ -1,0 +1,230 @@
+"""Shared-memory IPC arena tests for :class:`repro.runner.SweepRunner`.
+
+The arena is a transport, not a semantic layer: results shipped through
+``/dev/shm`` must be byte-identical to results shipped as pickles
+through the pool pipe, and no shared-memory segment may outlive a sweep
+— clean exit, mid-sweep failure, or kill/respawn chaos. Crash-cleanup
+cases carry the ``chaos`` marker (``pytest -m chaos`` /
+``make check-faults``).
+"""
+
+import pathlib
+import pickle
+
+import pytest
+
+from repro.errors import CellFailed
+from repro.faults import FaultPlan
+from repro.runner import (
+    Cell,
+    ResultCache,
+    RetryPolicy,
+    SweepRunner,
+    _ShmArena,
+    _ShmCorrupt,
+    register_cell_kind,
+)
+
+
+@register_cell_kind("shm_probe")
+def _shm_probe(x):
+    # A payload big enough that the arena transport is actually used
+    # for real data, and oddly shaped enough to catch serialization
+    # slips (nested containers, floats, bytes).
+    return {
+        "x": x,
+        "sq": x * x,
+        "vec": [float(i) * 0.5 for i in range(256)],
+        "tag": bytes([x % 256]) * 32,
+    }
+
+
+def _cells(n=6):
+    return [Cell("shm_probe", {"x": i}) for i in range(n)]
+
+
+def _fast_policy(**kwargs):
+    defaults = dict(retries=8, backoff_seconds=0.002)
+    defaults.update(kwargs)
+    return RetryPolicy(**defaults)
+
+
+def _segment_path(name):
+    return pathlib.Path("/dev/shm") / name
+
+
+class TestArenaPrimitive:
+    """_ShmArena round-trip, bounds, and checksum behaviour."""
+
+    def _arena(self, size=4096):
+        import multiprocessing
+
+        return _ShmArena(size, multiprocessing.get_context("fork"))
+
+    def test_round_trip(self):
+        arena = self._arena()
+        try:
+            payload = ("ok", {"a": [1, 2, 3]}, False, 0.5, 0, None)
+            blob = pickle.dumps(payload)
+            env = arena.write(blob)
+            assert env is not None and env[0] == "shm"
+            _, off, length, digest = env
+            assert arena.read(off, length, digest) == payload
+        finally:
+            arena.destroy()
+
+    def test_full_arena_returns_none(self):
+        arena = self._arena(size=64)
+        try:
+            assert arena.write(b"x" * 65) is None
+            # Partial fills still work, and the cursor is honoured.
+            assert arena.write(b"x" * 40) is not None
+            assert arena.write(b"y" * 40) is None
+        finally:
+            arena.destroy()
+
+    def test_checksum_mismatch_raises(self):
+        arena = self._arena()
+        try:
+            blob = pickle.dumps({"k": "v"})
+            _, off, length, digest = arena.write(blob)
+            arena.shm.buf[off] ^= 0xFF  # flip a payload byte
+            with pytest.raises(_ShmCorrupt, match="checksum"):
+                arena.read(off, length, digest)
+        finally:
+            arena.destroy()
+
+    def test_out_of_bounds_envelope_raises(self):
+        arena = self._arena(size=128)
+        try:
+            with pytest.raises(_ShmCorrupt, match="bounds"):
+                arena.read(100, 64, "0" * 64)
+            with pytest.raises(_ShmCorrupt, match="bounds"):
+                arena.read(-1, 8, "0" * 64)
+        finally:
+            arena.destroy()
+
+    def test_destroy_unlinks_segment(self):
+        arena = self._arena()
+        name = arena.name
+        assert _segment_path(name).exists()
+        arena.destroy()
+        assert not _segment_path(name).exists()
+
+
+class TestShmTransport:
+    """Parallel sweeps through the arena vs the pipe."""
+
+    def test_results_byte_identical_to_pipe(self, tmp_path):
+        shm = SweepRunner(jobs=2, cache=ResultCache(tmp_path / "a"))
+        pipe = SweepRunner(
+            jobs=2, cache=ResultCache(tmp_path / "b"), arena_bytes=0
+        )
+        r_shm = shm.map(_cells())
+        r_pipe = pipe.map(_cells())
+        assert pickle.dumps(r_shm) == pickle.dumps(r_pipe)
+        assert shm.last_arena_name is not None
+        assert pipe.last_arena_name is None
+
+    def test_arena_unlinked_after_clean_sweep(self, tmp_path):
+        runner = SweepRunner(jobs=2, cache=ResultCache(tmp_path))
+        runner.map(_cells())
+        assert runner.last_arena_name is not None
+        assert not _segment_path(runner.last_arena_name).exists()
+
+    def test_tiny_arena_falls_back_to_pipe(self, tmp_path):
+        # An arena too small for any payload: every worker falls back
+        # to the pipe transport, results unchanged.
+        small = SweepRunner(
+            jobs=2, cache=ResultCache(tmp_path / "s"), arena_bytes=64
+        )
+        pipe = SweepRunner(
+            jobs=2, cache=ResultCache(tmp_path / "p"), arena_bytes=0
+        )
+        assert pickle.dumps(small.map(_cells())) == pickle.dumps(
+            pipe.map(_cells())
+        )
+        assert not _segment_path(small.last_arena_name).exists()
+
+    def test_serial_path_never_creates_arena(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        runner.map(_cells())
+        assert runner.last_arena_name is None
+
+    def test_env_knob_disables_arena(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_ARENA_BYTES", "0")
+        runner = SweepRunner(jobs=2, cache=ResultCache(tmp_path))
+        runner.map(_cells())
+        assert runner.last_arena_name is None
+
+    def test_arena_unlinked_when_sweep_fails(self, tmp_path):
+        plan = FaultPlan(seed=1, cell_error=1.0)
+        runner = SweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path),
+            fault_plan=plan,
+            policy=_fast_policy(retries=1),
+        )
+        with pytest.raises(CellFailed):
+            runner.map(_cells())
+        assert runner.last_arena_name is not None
+        assert not _segment_path(runner.last_arena_name).exists()
+
+
+@pytest.mark.chaos
+class TestShmChaos:
+    """Kill/respawn chaos must never leak a /dev/shm segment."""
+
+    def test_no_leak_after_worker_crashes(self, tmp_path):
+        expected = [_shm_probe(i) for i in range(6)]
+        for plan_seed in range(6, 10):
+            plan = FaultPlan(seed=plan_seed, worker_crash=0.3)
+            runner = SweepRunner(
+                jobs=2,
+                cache=ResultCache(tmp_path / str(plan_seed)),
+                fault_plan=plan,
+                policy=_fast_policy(),
+            )
+            assert runner.map(_cells()) == expected
+            assert not _segment_path(runner.last_arena_name).exists()
+
+    def test_no_leak_after_hard_deaths_and_respawns(self, tmp_path):
+        # Hard os._exit deaths force pool respawns; the respawned
+        # workers must inherit the same arena (results still arrive via
+        # shm) and the segment must still be unlinked at sweep end.
+        expected = [_shm_probe(i) for i in range(6)]
+        respawns = 0
+        for plan_seed in range(12, 16):
+            plan = FaultPlan(seed=plan_seed, hard_crash=0.4)
+            runner = SweepRunner(
+                jobs=2,
+                cache=ResultCache(tmp_path / str(plan_seed)),
+                fault_plan=plan,
+                policy=_fast_policy(
+                    timeout_seconds=0.4, poll_interval=0.01
+                ),
+            )
+            assert runner.map(_cells()) == expected
+            respawns += runner.stats.pool_respawns
+            assert not _segment_path(runner.last_arena_name).exists()
+        assert respawns >= 1
+
+    def test_degraded_serial_still_unlinks(self, tmp_path):
+        plan = FaultPlan(seed=8, cell_stall=1.0, stall_seconds=5.0)
+        runner = SweepRunner(
+            jobs=2,
+            cache=ResultCache(tmp_path),
+            fault_plan=plan,
+            policy=_fast_policy(
+                timeout_seconds=0.2,
+                poll_interval=0.01,
+                max_pool_respawns=1,
+                retries=20,
+            ),
+        )
+        # Every parallel attempt stalls; the runner degrades to serial
+        # — where the injected stall does not fire as a wall-clock
+        # timeout killer (no pool), so the sweep eventually converges.
+        results = runner.map(_cells(3))
+        assert [r["x"] for r in results] == [0, 1, 2]
+        assert not _segment_path(runner.last_arena_name).exists()
