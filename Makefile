@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test check check-faults check-resilience bench \
 	bench-smoke bench-tracesim bench-model bench-obs bench-fleet \
-	bench-full examples figures clean
+	bench-serve bench-full examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,7 @@ check:
 	$(MAKE) bench-model
 	$(MAKE) bench-obs
 	$(MAKE) bench-fleet
+	$(MAKE) bench-serve
 	$(MAKE) check-faults
 	$(MAKE) check-resilience
 
@@ -90,6 +91,16 @@ bench-fleet:
 	PYTHONPATH=src $(PYTHON) -m repro bench --suite fleet \
 	  --chips 8 --epochs 6 --output BENCH_fleet_smoke.json
 
+# Placement-service gate (seconds, fixed seed): an in-process daemon
+# is driven twice by the same seeded synthetic-tenant load; exits
+# non-zero if any run records a client error or invariant violation,
+# or the two decision sequences differ byte-for-byte. Writes to a
+# scratch path so the committed default-scale BENCH_serve.json
+# (regenerate with `python -m repro bench --suite serve`) survives.
+bench-serve:
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite serve \
+	  --tenants 4 --requests 5 --output BENCH_serve_smoke.json
+
 # Paper-scale sweep (40 mixes, 25 epochs) — takes a while.
 bench-full:
 	REPRO_MIXES=40 REPRO_EPOCHS=25 \
@@ -108,5 +119,6 @@ clean:
 	rm -rf results/ .pytest_cache .benchmarks
 	rm -f BENCH_sweeps.json BENCH_tracesim_smoke.json \
 	  BENCH_model_smoke.json BENCH_faults_smoke.json \
-	  BENCH_obs_smoke.json BENCH_fleet_smoke.json
+	  BENCH_obs_smoke.json BENCH_fleet_smoke.json \
+	  BENCH_serve_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -17,7 +17,7 @@ from repro.cache.misscurve import MissCurve
 from repro.config import ControllerConfig, RECONFIG_INTERVAL_CYCLES
 from repro.experiments.common import cached_workload_outcome
 from repro.metrics.speedup import weighted_speedup
-from repro.model.system import run_design
+from repro.model.api import run_model
 from repro.model.workload import make_default_workload
 
 from .conftest import report, run_once
@@ -30,13 +30,13 @@ def test_ablation_panic_boost(benchmark):
                                      load="high")
 
     def run_both():
-        with_panic = run_design(
-            "Jumanji", workload, num_epochs=20, seed=2,
+        with_panic = run_model(
+            design="Jumanji", workload=workload, epochs=20, seed=2,
             controller_config=ControllerConfig(panic_threshold=1.10),
         )
         # Panic threshold so high it never fires.
-        without = run_design(
-            "Jumanji", workload, num_epochs=20, seed=2,
+        without = run_model(
+            design="Jumanji", workload=workload, epochs=20, seed=2,
             controller_config=ControllerConfig(panic_threshold=50.0),
         )
         return with_panic, without

@@ -14,7 +14,7 @@ Run with::
 
 from repro.config import SystemConfig
 from repro.metrics import weighted_speedup
-from repro.model import WorkloadSpec, run_design
+from repro.model import WorkloadSpec, run_model
 from repro.workloads import (
     build_vm_configuration,
     random_batch_mix,
@@ -37,8 +37,8 @@ def main() -> None:
             num_vms, lc_apps, batch_apps, config
         )
         workload = WorkloadSpec(config=config, vms=vms, load="high")
-        static = run_design("Static", workload, num_epochs=15, seed=0)
-        jumanji = run_design("Jumanji", workload, num_epochs=15, seed=0)
+        static = run_model(design="Static", workload=workload, epochs=15, seed=0)
+        jumanji = run_model(design="Jumanji", workload=workload, epochs=15, seed=0)
         speedup = weighted_speedup(
             jumanji.batch_ipcs(), static.batch_ipcs()
         )

@@ -11,7 +11,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import make_default_workload, run_design
+from repro import make_default_workload, run_model
 from repro.metrics import weighted_speedup
 
 
@@ -23,8 +23,8 @@ def main() -> None:
     print(f"  batch mix: {', '.join(workload.batch_apps)}")
     print()
 
-    static = run_design("Static", workload, num_epochs=20, seed=0)
-    jumanji = run_design("Jumanji", workload, num_epochs=20, seed=0)
+    static = run_model(design="Static", workload=workload, epochs=20, seed=0)
+    jumanji = run_model(design="Jumanji", workload=workload, epochs=20, seed=0)
 
     speedup = weighted_speedup(
         jumanji.batch_ipcs(), static.batch_ipcs()

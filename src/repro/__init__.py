@@ -12,11 +12,16 @@ table of the paper's evaluation.
 
 Quick start::
 
-    from repro import make_default_workload, run_design
+    from repro import make_default_workload, run_model
 
     workload = make_default_workload(["xapian"], mix_seed=0, load="high")
-    result = run_design("Jumanji", workload, num_epochs=20)
+    result = run_model(design="Jumanji", workload=workload, epochs=20)
     print(result.worst_lc_violation())   # < 1.0: deadlines met
+
+Or run placement as a service (see :mod:`repro.serve`)::
+
+    repro serve run          # HTTP daemon
+    repro serve loadgen      # drive it with synthetic tenants
 """
 
 from .config import (
@@ -35,10 +40,12 @@ from .errors import (
     CellFailed,
     CellTimeout,
     ConfigError,
+    PayloadTooLarge,
     PlacementFailed,
     ReproError,
     SweepAborted,
     TelemetryInvalid,
+    UnknownSession,
 )
 from .faults import FaultPlan
 from . import fleet
@@ -62,9 +69,13 @@ from .model import (
     compute_deadline_cycles,
     make_default_workload,
     run_design,
+    run_model,
 )
 
 __version__ = "1.0.0"
+
+# Imported after __version__: serve stamps it into HTTP responses.
+from . import serve  # noqa: E402
 
 __all__ = [
     "SystemConfig",
@@ -75,6 +86,7 @@ __all__ = [
     "VmSpec",
     "fleet",
     "obs",
+    "serve",
     "Allocation",
     "AppInfo",
     "PlacementContext",
@@ -89,6 +101,7 @@ __all__ = [
     "make_default_workload",
     "SystemModel",
     "RunResult",
+    "run_model",
     "run_design",
     "compute_deadline_cycles",
     "ReproError",
@@ -102,6 +115,8 @@ __all__ = [
     "TelemetryInvalid",
     "AllocationInvalid",
     "PlacementFailed",
+    "UnknownSession",
+    "PayloadTooLarge",
     "FaultPlan",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """``repro bench``: timed sweep benchmarking with a machine-readable report.
 
-Five suites:
+Seven suites:
 
 * ``--suite sweeps`` (default) runs the sweep-backed figures
   (Fig. 13-18) through the parallel runner and writes
@@ -58,6 +58,15 @@ Five suites:
   isolation invariant may break in either run, and the report records
   chip-epochs/s throughput. Writes ``BENCH_fleet.json`` and exits
   non-zero on any gate failure, so ``make bench-fleet`` can gate on it.
+
+* ``--suite serve`` gates the placement service (``repro.serve``): an
+  in-process daemon is driven twice by the same seeded synthetic-tenant
+  load (``N`` tenants x ``M`` telemetry posts each); both runs must
+  finish with zero errors and zero invariant violations, the decision
+  sequences must be byte-identical (same-seed determinism), and the
+  report records decisions/s and client-observed p95 decision latency.
+  Writes ``BENCH_serve.json`` and exits non-zero on any gate failure,
+  so ``make bench-serve`` can gate on it.
 """
 
 from __future__ import annotations
@@ -89,6 +98,7 @@ __all__ = [
     "run_faults_bench",
     "run_obs_bench",
     "run_fleet_bench",
+    "run_serve_bench",
     "add_bench_arguments",
     "cmd_bench",
 ]
@@ -1400,17 +1410,140 @@ def cmd_fleet_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve_bench(
+    tenants: Optional[int] = None,
+    requests: Optional[int] = None,
+    seed: int = 0,
+    output: Optional[os.PathLike] = None,
+) -> Dict[str, Any]:
+    """Gate the placement service: throughput + determinism.
+
+    Boots an in-process :class:`~repro.serve.ServeDaemon` on a free
+    port and drives it twice with the same seeded synthetic-tenant
+    script (``repro.serve.loadgen``):
+
+    * **correctness** — both runs must finish with zero client errors
+      and zero invariant violations (epoch echo, positive ``lat_sizes``,
+      LC apps present in every non-degraded allocation).
+    * **determinism** — the per-tenant decision fingerprints (canonical
+      JSON of each decision minus the session id) must be
+      byte-identical between the runs: same telemetry script in, same
+      placement sequence out.
+    * **throughput** — decisions/s and client-observed p50/p95 decision
+      latency of the slower run are recorded so regressions in the
+      request path show up in the report.
+    """
+    from .serve import ServeDaemon
+    from .serve.loadgen import run_loadgen
+
+    if tenants is None:
+        tenants = 40
+    if requests is None:
+        requests = 25
+
+    runs: List[Dict[str, Any]] = []
+    fingerprints: List[Dict[int, List[str]]] = []
+    with ServeDaemon(port=0) as daemon:
+        for _ in range(2):
+            report_run = run_loadgen(
+                daemon.host,
+                daemon.port,
+                tenants=tenants,
+                requests=requests,
+                seed=seed,
+            )
+            fingerprints.append(report_run.fingerprints)
+            runs.append(
+                {
+                    "wall_seconds": report_run.wall_seconds,
+                    "decisions": report_run.decisions,
+                    "decisions_per_s": report_run.decisions_per_sec,
+                    "p50_decision_ms": report_run.latency_ms(50.0),
+                    "p95_decision_ms": report_run.latency_ms(95.0),
+                    "errors": list(report_run.errors),
+                    "invariant_violations": list(
+                        report_run.violations
+                    ),
+                    "ok": report_run.ok,
+                }
+            )
+
+    correct = all(r["ok"] for r in runs)
+    complete = all(
+        r["decisions"] == tenants * requests for r in runs
+    )
+    deterministic = fingerprints[0] == fingerprints[1]
+    ok = correct and complete and deterministic
+    report: Dict[str, Any] = {
+        "version": __version__,
+        "suite": "serve",
+        "code_fingerprint": code_fingerprint(),
+        "tenants": tenants,
+        "requests_per_tenant": requests,
+        "seed": seed,
+        "runs": runs,
+        "decisions_per_s": min(r["decisions_per_s"] for r in runs),
+        "p95_decision_ms": max(r["p95_decision_ms"] for r in runs),
+        "determinism": {"identical_decisions": deterministic},
+        "invariants": {"ok": correct, "complete": complete},
+        "ok": ok,
+    }
+    if output is None:
+        output = "BENCH_serve.json"
+    path = pathlib.Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    report["output"] = str(path)
+    return report
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """CLI entry point for ``repro bench --suite serve``."""
+    output = args.output
+    if output == "BENCH_sweeps.json":
+        output = "BENCH_serve.json"
+    report = run_serve_bench(
+        tenants=args.tenants,
+        requests=args.requests,
+        seed=args.fault_seed,
+        output=output,
+    )
+    print(
+        f"serve: {report['tenants']} tenants x "
+        f"{report['requests_per_tenant']} requests, "
+        f"seed {report['seed']}"
+    )
+    for i, run in enumerate(report["runs"]):
+        print(
+            f"  run {i}: {run['decisions']} decisions in "
+            f"{run['wall_seconds']:.2f}s "
+            f"({run['decisions_per_s']:.0f}/s), "
+            f"p95 {run['p95_decision_ms']:.1f} ms, "
+            f"{len(run['errors'])} errors, "
+            f"{len(run['invariant_violations'])} violations"
+        )
+    print(
+        f"  deterministic decisions: "
+        f"{report['determinism']['identical_decisions']}"
+    )
+    print(f"wrote {report['output']}")
+    if not report["ok"]:
+        print("SERVE SUITE FAILED: see report above")
+        return 1
+    return 0
+
+
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach ``repro bench`` options to a subparser."""
     parser.add_argument(
         "--suite",
         choices=("sweeps", "tracesim", "model", "faults", "obs",
-                 "fleet"),
+                 "fleet", "serve"),
         default="sweeps",
         help="what to benchmark: figure sweeps (default), the "
         "trace-simulator fast path, the vectorised epoch engine, "
         "the fault-injection chaos smoke, the observability "
-        "overhead gate, or the rack-scale fleet gate",
+        "overhead gate, the rack-scale fleet gate, or the "
+        "placement-service gate",
     )
     parser.add_argument(
         "--figures",
@@ -1473,6 +1606,18 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="fleet suite: sockets in the fleet "
         "(default REPRO_FLEET_CHIPS or 32)",
     )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="serve suite: concurrent tenant sessions (default 40)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="serve suite: telemetry posts per tenant (default 25)",
+    )
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -1487,6 +1632,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return cmd_obs_bench(args)
     if args.suite == "fleet":
         return cmd_fleet_bench(args)
+    if args.suite == "serve":
+        return cmd_serve_bench(args)
     report = run_bench(
         figures=args.figures,
         jobs=args.jobs,

@@ -11,6 +11,9 @@ Commands:
   fault-injection chaos smoke (``--suite faults``), the observability
   overhead gate (``--suite obs``), or the fleet gate (``--suite
   fleet``)
+* ``serve run``            — placement-as-a-service HTTP daemon
+  (:mod:`repro.serve`); ``serve loadgen`` drives it with N synthetic
+  tenants and prints throughput/latency
 * ``deadline <app>``       — print an LC app's computed deadline
 * ``report``               — assemble results/ into a single SUMMARY.md
 * ``obs summarize <trace>`` — summarize a captured observability trace
@@ -32,7 +35,8 @@ from . import __version__
 from .config import CORE_FREQ_HZ
 from .core.designs import DESIGNS
 from .metrics.speedup import weighted_speedup
-from .model.system import compute_deadline_cycles, run_design
+from .model.api import run_model
+from .model.system import compute_deadline_cycles
 from .model.workload import make_default_workload
 from .workloads.tailbench import lc_profile_names
 
@@ -178,6 +182,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_bench_arguments(bench)
 
+    serve = sub.add_parser(
+        "serve",
+        help="placement-as-a-service daemon and its load generator",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    srun = serve_sub.add_parser(
+        "run",
+        help="run the HTTP placement daemon until interrupted",
+    )
+    srun.add_argument(
+        "--host", default=None,
+        help="bind address (default: REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    srun.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port, 0 picks a free one "
+        "(default: REPRO_SERVE_PORT or 8123)",
+    )
+    srun.add_argument(
+        "--max-body", type=int, default=None,
+        help="request-body byte limit before 413 "
+        "(default: REPRO_SERVE_MAX_BODY or 1 MiB)",
+    )
+    sload = serve_sub.add_parser(
+        "loadgen",
+        help="drive a daemon with synthetic tenants; with no --port, "
+        "spawns an in-process daemon on a free port",
+    )
+    sload.add_argument(
+        "--tenants", type=int, default=8,
+        help="concurrent tenant sessions (default 8)",
+    )
+    sload.add_argument(
+        "--requests", type=int, default=10,
+        help="telemetry posts per tenant (default 10)",
+    )
+    sload.add_argument("--seed", type=int, default=0)
+    sload.add_argument(
+        "--concurrency", type=int, default=None,
+        help="driver threads (default: min(tenants, 8))",
+    )
+    sload.add_argument(
+        "--host", default=None,
+        help="daemon to target (default: spawn in-process)",
+    )
+    sload.add_argument(
+        "--port", type=int, default=None,
+        help="daemon port (default: spawn in-process)",
+    )
+
     dl = sub.add_parser(
         "deadline", help="print an LC app's computed deadline"
     )
@@ -244,14 +298,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workload = make_default_workload(
         lc_apps, mix_seed=args.mix, load=args.load
     )
-    static = run_design(
-        "Static", workload, num_epochs=args.epochs, seed=args.seed
+    static = run_model(
+        design="Static", workload=workload, epochs=args.epochs,
+        seed=args.seed,
     )
     result = (
         static
         if args.design == "Static"
-        else run_design(
-            args.design, workload, num_epochs=args.epochs,
+        else run_model(
+            design=args.design, workload=workload, epochs=args.epochs,
             seed=args.seed,
         )
     )
@@ -403,6 +458,58 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve run`` / ``repro serve loadgen``."""
+    from . import obs
+    from .serve import ServeDaemon
+    from .serve.loadgen import run_loadgen
+
+    if args.serve_command == "run":
+        # Live metrics make /v1/metrics useful out of the box.
+        obs.configure(enabled=True)
+        daemon = ServeDaemon(
+            host=args.host, port=args.port, max_body=args.max_body
+        )
+        print(f"repro serve: listening on "
+              f"http://{daemon.host}:{daemon.port} (Ctrl-C to stop)")
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            daemon.close()
+        return 0
+
+    # loadgen: target an existing daemon, or spawn one in-process.
+    daemon = None
+    host, port = args.host, args.port
+    if port is None:
+        obs.configure(enabled=True)
+        daemon = ServeDaemon(host=host, port=0)
+        daemon.start()
+        host, port = daemon.host, daemon.port
+        print(f"repro serve loadgen: in-process daemon on "
+              f"http://{host}:{port}")
+    try:
+        report = run_loadgen(
+            host or "127.0.0.1", port,
+            tenants=args.tenants,
+            requests=args.requests,
+            seed=args.seed,
+            concurrency=args.concurrency or min(args.tenants, 8),
+        )
+    finally:
+        if daemon is not None:
+            daemon.close()
+    for key, value in report.summary().items():
+        print(f"{key:<22s} {value}")
+    for err in report.errors[:5]:
+        print(f"error: {err}")
+    for violation in report.violations[:5]:
+        print(f"violation: {violation}")
+    return 0 if report.ok else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """``repro obs summarize``: digest a captured trace."""
     from .obs import format_summary, load_trace, summarize
@@ -453,6 +560,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import cmd_bench
 
         return cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "deadline":
         return _cmd_deadline(args)
     if args.command == "report":

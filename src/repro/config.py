@@ -320,6 +320,14 @@ class Settings:
     #: parallel sweeps (0 disables the arena; results then travel
     #: through the pool pipe as pickles).
     shm_arena_bytes: Optional[int] = None
+    #: ``REPRO_SERVE_HOST`` — default bind address for ``repro serve``.
+    serve_host: Optional[str] = None
+    #: ``REPRO_SERVE_PORT`` — default port for ``repro serve`` (0 asks
+    #: the OS for an ephemeral port).
+    serve_port: Optional[int] = None
+    #: ``REPRO_SERVE_MAX_BODY`` — request-body byte bound for the serve
+    #: daemon; oversized bodies are rejected with 413.
+    serve_max_body: Optional[int] = None
 
     @classmethod
     def from_env(
@@ -368,4 +376,7 @@ class Settings:
             bench_mixes=_positive_int(env, "REPRO_BENCH_MIXES"),
             bench_epochs=_positive_int(env, "REPRO_BENCH_EPOCHS"),
             shm_arena_bytes=_nonneg_int(env, "REPRO_SHM_ARENA_BYTES"),
+            serve_host=_clean(env, "REPRO_SERVE_HOST"),
+            serve_port=_nonneg_int(env, "REPRO_SERVE_PORT"),
+            serve_max_body=_positive_int(env, "REPRO_SERVE_MAX_BODY"),
         )

@@ -1,18 +1,21 @@
-"""Shared exception taxonomy and structured-event logging.
+"""Shared exception taxonomy for the reproduction.
 
 Production cache/serving systems treat partial failure as a normal
 input, not a crash: a wedged worker, a truncated cache file, or a NaN
 latency sample must degrade service predictably instead of aborting a
 whole sweep with a raw traceback. This module gives every layer of the
-reproduction one vocabulary for those events:
+reproduction one vocabulary for those events: typed exceptions
+(:class:`CellTimeout`, :class:`CacheCorrupt`, :class:`TelemetryInvalid`,
+...) so callers can catch precisely the failures they know how to
+absorb. Structured degraded-mode events are reported through
+:func:`repro.obs.emit` (the ``errors.log_event`` shim that used to live
+here was removed after its deprecation cycle).
 
-* typed exceptions (:class:`CellTimeout`, :class:`CacheCorrupt`,
-  :class:`TelemetryInvalid`, ...) so callers can catch precisely the
-  failures they know how to absorb, and
-* :func:`log_event`, the seed-era structured event emitter — now a
-  deprecated shim over :func:`repro.obs.emit`, which is where every
-  degraded-mode decision (quarantined cache entries, placer fallbacks,
-  dropped telemetry) is reported.
+The serving layer (:mod:`repro.serve`) maps this taxonomy onto HTTP
+status codes — :class:`ConfigError`/:class:`TelemetryInvalid` -> 400,
+:class:`UnknownSession` -> 404, :class:`PayloadTooLarge` -> 413,
+everything else -> 500 — with the error class named in the response
+body, so API clients can catch the same vocabulary.
 
 Several exceptions also subclass ``ValueError``/``KeyError`` so code
 (and tests) written against the seed's untyped raises keep working.
@@ -20,8 +23,6 @@ Several exceptions also subclass ``ValueError``/``KeyError`` so code
 
 from __future__ import annotations
 
-import logging
-import warnings
 from typing import Any, Dict, Optional
 
 __all__ = [
@@ -36,7 +37,8 @@ __all__ = [
     "TelemetryInvalid",
     "AllocationInvalid",
     "PlacementFailed",
-    "log_event",
+    "UnknownSession",
+    "PayloadTooLarge",
 ]
 
 
@@ -158,28 +160,37 @@ class PlacementFailed(ReproError):
         self.epoch = epoch
 
 
-# --------------------------------------------------------------------------
-# Structured events
-# --------------------------------------------------------------------------
+class UnknownSession(ReproError, KeyError):
+    """A serve-API request named a session id the daemon does not hold.
 
-
-def log_event(
-    logger: logging.Logger, event: str, **fields: Any
-) -> Dict[str, Any]:
-    """Deprecated: use :func:`repro.obs.emit` instead.
-
-    Kept as a thin shim so seed-era callers keep working: it delegates
-    to ``repro.obs.emit(event, logger=logger, **fields)`` (same flat
-    ``{"event": ..., **fields}`` record, same one-line JSON at WARNING
-    level) and additionally warns — once per process — that the call
-    path moved. New code should call ``repro.obs.emit`` directly, which
-    also records the event into any active trace/metrics collection.
+    Subclasses ``KeyError`` (it is a registry lookup miss); the HTTP
+    layer maps it to 404.
     """
-    warnings.warn(
-        "repro.errors.log_event is deprecated; use repro.obs.emit",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from . import obs
 
-    return obs.emit(event, logger=logger, **fields)
+    def __init__(self, message: str, session_id: Optional[str] = None):
+        # KeyError repr()s its first arg; route through ReproError so
+        # str(exc) stays the human-readable message.
+        super().__init__(message)
+        self.session_id = session_id
+
+    def __str__(self) -> str:  # KeyError would quote the message
+        return self.args[0] if self.args else ""
+
+
+class PayloadTooLarge(ReproError):
+    """A serve-API request body or telemetry batch exceeds its bound.
+
+    Carries the measured ``size`` and the configured ``limit`` so the
+    413 response (and logs) name exactly which bound was tripped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        size: Optional[int] = None,
+        limit: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.size = size
+        self.limit = limit

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..config import Engine, Settings, SystemConfig
 from ..metrics.speedup import gmean, weighted_speedup
-from ..model.system import RunResult, run_design
+from ..model.system import RunResult, _run_design
 from ..model.workload import WorkloadSpec, make_default_workload
 from ..noc.energy import EnergyBreakdown
 from ..runner import (
@@ -245,7 +245,7 @@ def config_from_params(
     return SystemConfig(**params)
 
 
-def run_workload(
+def _run_workload(
     design: str,
     lc_workload: str,
     load: str,
@@ -272,12 +272,12 @@ def run_workload(
         lc_apps, mix_seed=mix_seed, load=load, config=config
     )
     if baseline_ipcs is None:
-        static = run_design(
+        static = _run_design(
             "Static", workload, num_epochs=epochs, seed=seed,
             engine=engine,
         )
         baseline_ipcs = static.batch_ipcs()
-    result = run_design(
+    result = _run_design(
         design, workload, num_epochs=epochs, seed=seed,
         engine=engine,
         **design_kwargs,
@@ -297,6 +297,42 @@ def run_workload(
         avg_lc_size_mb=result.avg_lc_size(),
     )
     return outcome, result, dict(baseline_ipcs)
+
+
+def run_workload(
+    design: str,
+    lc_workload: str,
+    load: str,
+    mix_seed: int,
+    epochs: Optional[int] = None,
+    config: Optional[SystemConfig] = None,
+    baseline_ipcs: Optional[Mapping[str, float]] = None,
+    base_seed: int = 0,
+    engine: str = Engine.BATCH,
+    **design_kwargs,
+) -> Tuple[WorkloadOutcome, RunResult, Dict[str, float]]:
+    """Deprecated alias for :func:`repro.model.api.run_model`.
+
+    Use ``run_model(design=..., lc_workload=...)``; this wrapper warns
+    once per process and delegates unchanged.
+    """
+    from ..model._deprecation import warn_once
+
+    warn_once(
+        "run_workload", "run_model(design=..., lc_workload=...)"
+    )
+    return _run_workload(
+        design,
+        lc_workload,
+        load,
+        mix_seed,
+        epochs=epochs,
+        config=config,
+        baseline_ipcs=baseline_ipcs,
+        base_seed=base_seed,
+        engine=engine,
+        **design_kwargs,
+    )
 
 
 # -- sweep cells (see repro.runner) ------------------------------------------
@@ -364,7 +400,7 @@ def _baseline_handler(
         load=load,
         config=config_from_params(config),
     )
-    static = run_design(
+    static = _run_design(
         "Static",
         workload,
         num_epochs=epochs,
@@ -391,7 +427,7 @@ def _workload_handler(
             lc_workload, load, mix_seed, epochs, base_seed, config
         )
     )
-    outcome, _result, _ipcs = run_workload(
+    outcome, _result, _ipcs = _run_workload(
         design,
         lc_workload,
         load,

@@ -16,7 +16,7 @@ from typing import Any, Mapping, Tuple
 
 from ..config import SystemConfig
 from ..metrics.speedup import gmean, weighted_speedup
-from ..model.system import run_design
+from ..model.api import run_model
 from ..model.workload import WorkloadSpec
 from ..runner import Cell, SweepRunner, register_cell_kind
 from ..workloads.mixes import (
@@ -106,11 +106,11 @@ def _vm_scale_handler(
     batch_apps = list(random_batch_mix(mix_seed))
     vms = build_vm_configuration(num_vms, lc_apps, batch_apps, system)
     workload = WorkloadSpec(config=system, vms=vms, load=load)
-    static = run_design(
-        "Static", workload, num_epochs=epochs, seed=seed
+    static = run_model(
+        design="Static", workload=workload, epochs=epochs, seed=seed
     )
-    jumanji = run_design(
-        "Jumanji", workload, num_epochs=epochs, seed=seed
+    jumanji = run_model(
+        design="Jumanji", workload=workload, epochs=epochs, seed=seed
     )
     speedup = weighted_speedup(
         jumanji.batch_ipcs(), static.batch_ipcs()

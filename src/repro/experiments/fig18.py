@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..config import SystemConfig
 from ..metrics.speedup import gmean, weighted_speedup
-from ..model.system import run_design
+from ..model.api import run_model
 from ..model.workload import make_default_workload
 from ..runner import Cell, SweepRunner, register_cell_kind
 from ..workloads.mixes import random_lc_mix
@@ -71,11 +71,11 @@ def _noc_delay_handler(
     workload = make_default_workload(
         lc_apps, mix_seed=mix_seed, load="high", config=config
     )
-    static = run_design(
-        "Static", workload, num_epochs=epochs, seed=seed
+    static = run_model(
+        design="Static", workload=workload, epochs=epochs, seed=seed
     )
-    target = run_design(
-        design, workload, num_epochs=epochs, seed=seed
+    target = run_model(
+        design=design, workload=workload, epochs=epochs, seed=seed
     )
     return weighted_speedup(target.batch_ipcs(), static.batch_ipcs())
 

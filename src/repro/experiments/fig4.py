@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..model.system import run_design
+from ..model.api import run_model
 from ..model.workload import make_default_workload
 from .common import num_epochs
 
@@ -54,8 +54,9 @@ def run(
         workload = make_default_workload(
             ["xapian"], mix_seed=mix_seed, load="high"
         )
-        result = run_design(
-            design, workload, num_epochs=epochs, seed=mix_seed
+        result = run_model(
+            design=design, workload=workload, epochs=epochs,
+            seed=mix_seed,
         )
         lat, alloc, vuln = [], [], []
         for em in result.epochs:

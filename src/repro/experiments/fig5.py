@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from .common import num_epochs, run_workload
+from ..model.api import run_model
+from .common import num_epochs
 
 __all__ = ["Fig5Result", "run", "format_table"]
 
@@ -41,9 +42,9 @@ def run(
     vuln: Dict[str, float] = {}
     baseline = None
     for design in designs:
-        outcome, _result, baseline = run_workload(
-            design, "xapian", "high", mix_seed,
-            epochs=epochs, baseline_ipcs=baseline,
+        outcome, _result, baseline = run_model(
+            design=design, lc_workload="xapian", load="high",
+            mix_seed=mix_seed, epochs=epochs, baseline_ipcs=baseline,
         )
         speedup[design] = outcome.speedup
         worst[design] = outcome.worst_tail

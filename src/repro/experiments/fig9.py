@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..config import ControllerConfig
 from ..metrics.speedup import weighted_speedup
-from ..model.system import run_design
+from ..model.api import run_model
 from ..model.workload import make_default_workload
 from .common import num_epochs
 
@@ -73,16 +73,17 @@ def run(
     workload = make_default_workload(
         ["xapian"], mix_seed=mix_seed, load="high"
     )
-    static = run_design(
-        "Static", workload, num_epochs=epochs, seed=mix_seed
+    static = run_model(
+        design="Static", workload=workload, epochs=epochs,
+        seed=mix_seed,
     )
     baseline = static.batch_ipcs()
     for group, configs in PARAMETER_GRID.items():
         for cfg in configs:
-            run_result = run_design(
-                design,
-                workload,
-                num_epochs=epochs,
+            run_result = run_model(
+                design=design,
+                workload=workload,
+                epochs=epochs,
                 seed=mix_seed,
                 controller_config=cfg,
             )

@@ -1,5 +1,6 @@
 """Analytic model layer: performance model, workloads, system driver."""
 
+from .api import run_model
 from .params import DEFAULT_PARAMS, ModelParams
 from .performance import BatchPerf, batch_perf, estimate_ipc, snuca_avg_rtt
 from .system import (
@@ -24,5 +25,6 @@ __all__ = [
     "RunResult",
     "EpochMetrics",
     "compute_deadline_cycles",
+    "run_model",
     "run_design",
 ]

@@ -1,0 +1,34 @@
+"""Warn-once plumbing for the deprecated model entry points.
+
+``run_design`` / ``run_design_batch`` / ``run_workload`` stay importable
+from their original modules as thin aliases over
+:func:`repro.model.api.run_model`, but each fires a single
+``DeprecationWarning`` per process — once is a signal, per-call is
+noise in a sweep that invokes the entry point thousands of times.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once", "reset_warnings"]
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(name: str, replacement: str) -> None:
+    """Emit one ``DeprecationWarning`` per process for ``name``."""
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_warnings() -> None:
+    """Forget which aliases warned (test hook)."""
+    _WARNED.clear()

@@ -173,7 +173,7 @@ class BatchSystemModel:
         ]
 
 
-def run_design_batch(
+def _run_design_batch(
     design_name: str,
     workloads: Sequence[WorkloadSpec],
     num_epochs: int = 20,
@@ -182,10 +182,10 @@ def run_design_batch(
     engine: str = Engine.BATCH,
     **design_kwargs,
 ) -> List[RunResult]:
-    """Convenience: run one design over many mixes, batched.
+    """Run one design over many mixes, batched (internal impl).
 
-    Per-mix results are bit-identical to
-    :func:`~repro.model.system.run_design` with the same seed.
+    Per-mix results are bit-identical to the single-workload path with
+    the same seed.
     """
     model = BatchSystemModel(
         design_name,
@@ -196,3 +196,33 @@ def run_design_batch(
         **design_kwargs,
     )
     return model.run(num_epochs)
+
+
+def run_design_batch(
+    design_name: str,
+    workloads: Sequence[WorkloadSpec],
+    num_epochs: int = 20,
+    seeds: Optional[Sequence[int]] = None,
+    controller_config: Optional[ControllerConfig] = None,
+    engine: str = Engine.BATCH,
+    **design_kwargs,
+) -> List[RunResult]:
+    """Deprecated alias for :func:`repro.model.api.run_model`.
+
+    Use ``run_model(design=..., workloads=...)``; this wrapper warns
+    once per process and delegates unchanged.
+    """
+    from ._deprecation import warn_once
+
+    warn_once(
+        "run_design_batch", "run_model(design=..., workloads=...)"
+    )
+    return _run_design_batch(
+        design_name,
+        workloads,
+        num_epochs=num_epochs,
+        seeds=seeds,
+        controller_config=controller_config,
+        engine=engine,
+        **design_kwargs,
+    )

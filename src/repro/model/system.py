@@ -612,7 +612,7 @@ class _RunState:
     all_latencies: Dict[str, List[float]] = field(default_factory=dict)
 
 
-def run_design(
+def _run_design(
     design_name: str,
     workload: WorkloadSpec,
     num_epochs: int = 20,
@@ -621,7 +621,7 @@ def run_design(
     engine: str = "fast",
     **design_kwargs,
 ) -> RunResult:
-    """Convenience: build and run one design against a workload."""
+    """Build and run one design against a workload (internal impl)."""
     design = make_design(design_name, **design_kwargs)
     model = SystemModel(
         design,
@@ -631,3 +631,31 @@ def run_design(
         engine=engine,
     )
     return model.run(num_epochs)
+
+
+def run_design(
+    design_name: str,
+    workload: WorkloadSpec,
+    num_epochs: int = 20,
+    seed: int = 0,
+    controller_config: Optional[ControllerConfig] = None,
+    engine: str = "fast",
+    **design_kwargs,
+) -> RunResult:
+    """Deprecated alias for :func:`repro.model.api.run_model`.
+
+    Use ``run_model(design=..., workload=...)``; this wrapper warns
+    once per process and delegates unchanged.
+    """
+    from ._deprecation import warn_once
+
+    warn_once("run_design", "run_model(design=..., workload=...)")
+    return _run_design(
+        design_name,
+        workload,
+        num_epochs=num_epochs,
+        seed=seed,
+        controller_config=controller_config,
+        engine=engine,
+        **design_kwargs,
+    )

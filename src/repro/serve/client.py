@@ -1,0 +1,186 @@
+"""The bundled sync client: the schema types over ``http.client``.
+
+:class:`Client` speaks exactly the :mod:`repro.serve.schema` wire
+format the daemon does — requests are built with ``to_json()``,
+responses parsed with ``from_dict()``, so a schema change breaks both
+sides at once instead of drifting. Non-2xx responses carry an
+:class:`~repro.serve.schema.ErrorBody` naming a :mod:`repro.errors`
+class; the client re-raises that same typed exception
+(:class:`~repro.errors.UnknownSession` for a 404,
+:class:`~repro.errors.PayloadTooLarge` for a 413, ...), so server-side
+failures are caught with the identical vocabulary as in-process ones.
+
+One persistent HTTP/1.1 connection per client, guarded by a lock and
+re-established on transport errors; give each thread its own
+``Client`` (the load generator does).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from typing import Any, Dict, List, Optional
+
+from .. import errors as _errors
+from ..errors import ReproError
+from .http import DEFAULT_HOST, DEFAULT_PORT
+from .schema import (
+    CreateSessionRequest,
+    Decision,
+    ErrorBody,
+    SessionInfo,
+    SweepRequest,
+    SweepStatus,
+    TelemetryRequest,
+)
+
+__all__ = ["Client"]
+
+
+def _exception_for(body: ErrorBody) -> ReproError:
+    """Rebuild the typed exception an ``ErrorBody`` names."""
+    cls = getattr(_errors, body.error, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    return cls(body.message)
+
+
+class Client:
+    """Synchronous client for one serve daemon."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(
+        self, method: str, path: str, body: Optional[str] = None
+    ) -> Any:
+        headers = {"Content-Type": "application/json"}
+        with self._lock:
+            for attempt in (0, 1):
+                conn = self._connection()
+                try:
+                    conn.request(method, path, body=body, headers=headers)
+                    response = conn.getresponse()
+                    raw = response.read()
+                    break
+                except (
+                    http.client.HTTPException,
+                    ConnectionError,
+                    BrokenPipeError,
+                ):
+                    # Stale keep-alive connection: rebuild once.
+                    self.close_connection()
+                    if attempt:
+                        raise
+        content_type = response.headers.get("Content-Type", "")
+        text = raw.decode("utf-8")
+        if response.status >= 400:
+            try:
+                payload = json.loads(text)
+            except ValueError:
+                payload = {
+                    "error": "ReproError",
+                    "message": text or response.reason,
+                    "status": response.status,
+                }
+            raise _exception_for(ErrorBody.from_dict(payload))
+        if content_type.startswith("text/plain"):
+            return text
+        return json.loads(text) if text else None
+
+    def close_connection(self) -> None:
+        """Drop the persistent connection (re-opened on next call)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    # -- API -----------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health``."""
+        return self._request("GET", "/v1/health")
+
+    def create_session(self, req: CreateSessionRequest) -> SessionInfo:
+        """``POST /v1/sessions``."""
+        data = self._request("POST", "/v1/sessions", req.to_json())
+        return SessionInfo.from_dict(data)
+
+    def sessions(self) -> List[SessionInfo]:
+        """``GET /v1/sessions``."""
+        data = self._request("GET", "/v1/sessions")
+        return [SessionInfo.from_dict(d) for d in data]
+
+    def session(self, session_id: str) -> SessionInfo:
+        """``GET /v1/sessions/<id>``."""
+        data = self._request("GET", f"/v1/sessions/{session_id}")
+        return SessionInfo.from_dict(data)
+
+    def delete_session(self, session_id: str) -> None:
+        """``DELETE /v1/sessions/<id>``."""
+        self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    def decide(
+        self, session_id: str, telemetry: TelemetryRequest
+    ) -> Decision:
+        """``POST /v1/sessions/<id>/telemetry`` — one epoch."""
+        data = self._request(
+            "POST",
+            f"/v1/sessions/{session_id}/telemetry",
+            telemetry.to_json(),
+        )
+        return Decision.from_dict(data)
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /v1/metrics`` — the live registry snapshot."""
+        return self._request("GET", "/v1/metrics")
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics/text`` — plain-text exposition."""
+        return self._request("GET", "/v1/metrics/text")
+
+    def start_sweep(self, req: SweepRequest) -> SweepStatus:
+        """``POST /v1/sweeps`` — start a background sweep."""
+        data = self._request("POST", "/v1/sweeps", req.to_json())
+        return SweepStatus.from_dict(data)
+
+    def sweeps(self) -> List[SweepStatus]:
+        """``GET /v1/sweeps``."""
+        data = self._request("GET", "/v1/sweeps")
+        return [SweepStatus.from_dict(d) for d in data]
+
+    def sweep_status(self, sweep_id: str) -> SweepStatus:
+        """``GET /v1/sweeps/<id>``."""
+        data = self._request("GET", f"/v1/sweeps/{sweep_id}")
+        return SweepStatus.from_dict(data)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.close_connection()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -23,6 +23,7 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from ..config import LINE_BYTES
+from ..errors import ConfigError
 
 __all__ = [
     "AddressTrace",
@@ -269,6 +270,18 @@ _SPEC_KINDS = {
 }
 
 
+def _check_spec_keys(kind: str, cls: type, spec: dict) -> None:
+    """Reject spec keys the generator's constructor doesn't take."""
+    import inspect
+
+    params = inspect.signature(cls.__init__).parameters
+    unknown = sorted(k for k in spec if k not in params)
+    if unknown:
+        raise ConfigError(
+            f"unknown {kind!r} trace spec keys: {unknown}"
+        )
+
+
 def trace_from_spec(spec) -> AddressTrace:
     """Build a trace from a JSON-friendly ``{"kind": ..., ...}`` spec.
 
@@ -283,25 +296,40 @@ def trace_from_spec(spec) -> AddressTrace:
 
     Keys other than ``kind`` (and, for ``mixed``, ``components`` /
     ``weights`` / ``seed``) are passed to the generator's constructor
-    unchanged, so specs validate exactly like direct construction.
+    unchanged, so specs validate exactly like direct construction —
+    and unknown keys raise :class:`~repro.errors.ConfigError` naming
+    the offender, so a payload typo fails loudly instead of silently
+    simulating the wrong trace.
     """
     spec = dict(spec)
     try:
         kind = spec.pop("kind")
     except KeyError:
-        raise ValueError("trace spec needs a 'kind' entry") from None
+        raise ConfigError("trace spec needs a 'kind' entry") from None
     if kind == "mixed":
         components = [
             trace_from_spec(c) for c in spec.pop("components", [])
         ]
+        _check_spec_keys(kind, MixedTrace, spec)
         return MixedTrace(components, **spec)
     if kind == "replay":
-        return ReplayTrace(spec.pop("lines"))
+        try:
+            lines = spec.pop("lines")
+        except KeyError:
+            raise ConfigError(
+                "replay trace spec needs a 'lines' entry"
+            ) from None
+        if spec:
+            raise ConfigError(
+                f"unknown replay trace spec keys: {sorted(spec)}"
+            )
+        return ReplayTrace(lines)
     try:
         cls = _SPEC_KINDS[kind]
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown trace kind {kind!r}; choose from "
             f"{sorted(_SPEC_KINDS) + ['mixed', 'replay']}"
         ) from None
+    _check_spec_keys(kind, cls, spec)
     return cls(**spec)

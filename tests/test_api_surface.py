@@ -23,6 +23,7 @@ EXPECTED_SUBMODULES = {
     "errors",
     "faults",
     "obs",
+    "serve",
     "core",
     "model",
     # transitively imported by the above (package init chains)

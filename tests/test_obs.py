@@ -1,9 +1,9 @@
 """Tests for the observability subsystem (``repro.obs``).
 
 Covers the span/event core, the metrics registry, both trace exporters
-round-tripping, worker event shipping through the sweep runner, the
-``log_event`` deprecation shim, and the CLI surface
-(``--trace-out`` / ``--metrics-out`` and ``repro obs summarize``).
+round-tripping, worker event shipping through the sweep runner, and the
+CLI surface (``--trace-out`` / ``--metrics-out`` and
+``repro obs summarize``).
 """
 
 import json
@@ -14,7 +14,7 @@ import pytest
 
 from repro import cli, obs
 from repro.core.designs import make_design
-from repro.errors import ConfigError, log_event
+from repro.errors import ConfigError
 from repro.model.system import SystemModel
 from repro.model.workload import make_default_workload
 from repro.obs.exporters import (
@@ -153,12 +153,13 @@ class TestEmit:
         assert isinstance(record["value"], str)
         json.dumps(record)  # the whole record is always JSON-able
 
-    def test_log_event_shim_warns_and_delegates(self):
-        logger = logging.getLogger("repro.test.shim")
-        with pytest.warns(DeprecationWarning, match="repro.obs.emit"):
-            record = log_event(logger, "telemetry_invalid", app="x")
-        assert record["event"] == "telemetry_invalid"
-        assert record["app"] == "x"
+    def test_log_event_shim_is_gone(self):
+        # The deprecation shim finished its cycle; obs.emit is the only
+        # structured-event entry point.
+        import repro.errors
+
+        assert not hasattr(repro.errors, "log_event")
+        assert "log_event" not in repro.errors.__all__
 
 
 # --------------------------------------------------------------------------

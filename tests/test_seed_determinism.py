@@ -15,8 +15,9 @@ import pytest
 from repro.config import SystemConfig
 from repro.core.designs import make_design
 from repro.core.runtime import JumanjiRuntime
-from repro.experiments.common import run_seed, run_workload
-from repro.model.system import SystemModel, run_design
+from repro.experiments.common import run_seed
+from repro.model.api import run_model
+from repro.model.system import SystemModel
 from repro.model.workload import make_default_workload
 
 
@@ -34,20 +35,20 @@ def _fingerprint(result):
 class TestRunDeterminism:
     def test_same_seed_bit_identical(self):
         workload = _workload()
-        a = run_design("Jumanji", workload, num_epochs=3, seed=7)
-        b = run_design("Jumanji", workload, num_epochs=3, seed=7)
+        a = run_model(design="Jumanji", workload=workload, epochs=3, seed=7)
+        b = run_model(design="Jumanji", workload=workload, epochs=3, seed=7)
         assert _fingerprint(a) == _fingerprint(b)
 
     def test_different_seed_differs(self):
         workload = _workload()
-        a = run_design("Jumanji", workload, num_epochs=3, seed=7)
-        b = run_design("Jumanji", workload, num_epochs=3, seed=8)
+        a = run_model(design="Jumanji", workload=workload, epochs=3, seed=7)
+        b = run_model(design="Jumanji", workload=workload, epochs=3, seed=8)
         assert _fingerprint(a) != _fingerprint(b)
 
     def test_global_rng_state_untouched(self):
         random_state = random.getstate()
         np_state = np.random.get_state()[1].tobytes()
-        run_design("Jumanji", _workload(), num_epochs=2, seed=3)
+        run_model(design="Jumanji", workload=_workload(), epochs=2, seed=3)
         assert random.getstate() == random_state
         assert np.random.get_state()[1].tobytes() == np_state
 
@@ -57,10 +58,10 @@ class TestRunDeterminism:
         workload = _workload()
         random.seed(1)
         np.random.seed(1)
-        a = run_design("Jumanji", workload, num_epochs=2, seed=5)
+        a = run_model(design="Jumanji", workload=workload, epochs=2, seed=5)
         random.seed(99)
         np.random.seed(99)
-        b = run_design("Jumanji", workload, num_epochs=2, seed=5)
+        b = run_model(design="Jumanji", workload=workload, epochs=2, seed=5)
         assert _fingerprint(a) == _fingerprint(b)
 
 
@@ -102,9 +103,9 @@ class TestSeedPlumbing:
             design="Jumanji", lc_workload="xapian", load="high",
             mix_seed=0, epochs=2,
         )
-        a, _, _ = run_workload(base_seed=0, **common)
-        b, _, _ = run_workload(base_seed=0, **common)
-        c, _, _ = run_workload(base_seed=1, **common)
+        a, _, _ = run_model(base_seed=0, **common)
+        b, _, _ = run_model(base_seed=0, **common)
+        c, _, _ = run_model(base_seed=1, **common)
         assert repr(a) == repr(b)
         assert repr(a) != repr(c)
 

@@ -4,11 +4,8 @@ import pytest
 
 from repro.config import ControllerConfig
 from repro.metrics.speedup import weighted_speedup
-from repro.model.system import (
-    SystemModel,
-    compute_deadline_cycles,
-    run_design,
-)
+from repro.model.api import run_model
+from repro.model.system import SystemModel, compute_deadline_cycles
 from repro.model.workload import make_default_workload
 from repro.core.designs import make_design
 
@@ -20,19 +17,19 @@ def workload():
 
 @pytest.fixture(scope="module")
 def static_result(workload):
-    return run_design("Static", workload, num_epochs=12, seed=1)
+    return run_model(design="Static", workload=workload, epochs=12, seed=1)
 
 
 @pytest.fixture(scope="module")
 def jumanji_result(workload):
-    return run_design("Jumanji", workload, num_epochs=12, seed=1)
+    return run_model(design="Jumanji", workload=workload, epochs=12, seed=1)
 
 
 @pytest.fixture(scope="module")
 def jigsaw_result(workload):
     # Longer run than the others: Jigsaw's starved queues are unstable,
     # so its violations grow with simulated time (Fig. 4a).
-    return run_design("Jigsaw", workload, num_epochs=20, seed=1)
+    return run_model(design="Jigsaw", workload=workload, epochs=20, seed=1)
 
 
 class TestDeadlines:
@@ -99,8 +96,8 @@ class TestRunResult:
             ) >= static_result.lc_tail(app)
 
     def test_deterministic_across_runs(self, workload):
-        a = run_design("Jumanji", workload, num_epochs=5, seed=3)
-        b = run_design("Jumanji", workload, num_epochs=5, seed=3)
+        a = run_model(design="Jumanji", workload=workload, epochs=5, seed=3)
+        b = run_model(design="Jumanji", workload=workload, epochs=5, seed=3)
         assert a.batch_ipcs() == b.batch_ipcs()
         for app in a.lc_deadlines:
             assert a.lc_tail(app) == b.lc_tail(app)
@@ -108,8 +105,9 @@ class TestRunResult:
 
 class TestIdealBatch:
     def test_runs_and_isolates(self, workload):
-        result = run_design(
-            "Jumanji: Ideal Batch", workload, num_epochs=8, seed=1
+        result = run_model(
+            design="Jumanji: Ideal Batch", workload=workload,
+            epochs=8, seed=1,
         )
         assert result.avg_vulnerability() == 0.0
         assert result.worst_lc_violation() < 1.3
@@ -135,6 +133,8 @@ class TestLoadLevels:
         workload = make_default_workload(
             ["xapian"], mix_seed=0, load="low"
         )
-        result = run_design("Jumanji", workload, num_epochs=12, seed=1)
+        result = run_model(
+            design="Jumanji", workload=workload, epochs=12, seed=1
+        )
         assert result.avg_lc_size() < 2.0
         assert result.worst_lc_violation() < 1.0
